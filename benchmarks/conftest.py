@@ -1,0 +1,66 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the ICDCS 2022
+Themis paper: it runs the relevant experiments, prints the same rows/series
+the paper reports, and asserts the qualitative *shape* (who wins, by roughly
+what factor, where crossovers fall).  Absolute numbers differ from the
+paper's testbed — see EXPERIMENTS.md for the side-by-side record.
+
+Conventions:
+
+* every benchmark measures through ``benchmark.pedantic(..., rounds=1)`` so
+  a figure's simulation runs exactly once whether or not ``--benchmark-only``
+  is passed;
+* experiment results are cached per :class:`ExperimentConfig` (hashable,
+  frozen) so figures that share runs — Fig. 4 and Fig. 5 use the same
+  convergence runs — don't pay twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig, RunResult, run_experiment
+
+_RESULT_CACHE: dict[ExperimentConfig, RunResult] = {}
+
+
+def cached_experiment(cfg: ExperimentConfig) -> RunResult:
+    """Run (or reuse) one experiment."""
+    if cfg not in _RESULT_CACHE:
+        _RESULT_CACHE[cfg] = run_experiment(cfg)
+    return _RESULT_CACHE[cfg]
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Time a thunk exactly once and return its result."""
+
+    def runner(thunk):
+        return benchmark.pedantic(thunk, rounds=1, iterations=1)
+
+    return runner
+
+
+def print_series(title: str, xlabel: str, series: dict[str, list]) -> None:
+    """Render a figure's data as an aligned text table."""
+    print(f"\n=== {title} ===")
+    names = list(series)
+    xs = series[names[0]]
+    width = max(len(n) for n in names[1:]) if len(names) > 1 else 8
+    header = f"{xlabel:>12s}  " + "  ".join(f"{n:>{max(12, width)}s}" for n in names[1:])
+    print(header)
+    for i in range(len(xs)):
+        row = f"{_fmt(xs[i]):>12s}  "
+        row += "  ".join(
+            f"{_fmt(series[n][i]):>{max(12, width)}s}" for n in names[1:]
+        )
+        print(row)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,138 @@
+"""Ablations for the reproduction's own design choices (see DESIGN.md §4).
+
+Not a paper figure — these justify two implementation decisions:
+
+1. **GEOST variance scope** — we score the *whole chain* (walked prefix +
+   candidate subtree) in the σ_f² tie-break, reading "the most equal chain"
+   literally.  The ablation compares against scoring the candidate subtree
+   in isolation and shows the chain-scope rule finalizes at-least-as-equal
+   chains.
+
+2. **Finality window** — subtree statistics freeze 64 heights below the tip
+   and rule walks restart from the finalized block.  The ablation replays a
+   recorded run's blocks through windowed and unwindowed states and asserts
+   identical heads at every step (the window is a pure optimization).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.chain.blocktree import BlockTree
+from repro.chain.forkchoice import ForkChoiceRule
+from repro.core.difficulty import DifficultyParams
+from repro.core.equality import variance_of_frequency
+from repro.core.geost import GEOSTRule
+from repro.core.themis import ConsensusChainState
+
+from benchmarks.conftest import cached_experiment
+from repro.sim.scenarios import equality_scenario
+
+
+class SubtreeOnlyGEOST(ForkChoiceRule):
+    """GEOST variant scoring candidate subtrees in isolation (ablation)."""
+
+    name = "geost-subtree-only"
+
+    def __init__(self, members_fn) -> None:
+        self._members_fn = members_fn
+
+    def select_child(self, tree: BlockTree, children: Sequence[bytes]) -> bytes:
+        best_size = -1
+        tied: list[bytes] = []
+        for child in children:
+            size = tree.subtree_size(child)
+            if size > best_size:
+                best_size, tied = size, [child]
+            elif size == best_size:
+                tied.append(child)
+        if len(tied) == 1:
+            return tied[0]
+        members = self._members_fn()
+        return max(
+            tied,
+            key=lambda child: (
+                -variance_of_frequency(tree.subtree_producers(child), members),
+                -tree.arrival_seq(child),
+            ),
+        )
+
+
+def test_ablation_geost_variance_scope(run_once):
+    """Chain-scope σ_f² finalizes an at-least-as-equal main chain."""
+
+    def experiment():
+        rows = []
+        for seed in (1, 2):
+            result = cached_experiment(
+                equality_scenario("themis", seed=seed, n=40, epochs=12)
+            )
+            observer = result.observer
+            members = result.members
+            tree = observer.tree
+            chain_scope = GEOSTRule(lambda: members).head(tree)
+            subtree_scope = SubtreeOnlyGEOST(lambda: members).head(tree)
+            def chain_variance(head):
+                counts = Counter(
+                    b.producer for b in tree.chain_to(head) if b.height > 0
+                )
+                return variance_of_frequency(counts, members)
+            rows.append(
+                {
+                    "seed": seed,
+                    "chain_scope_var": chain_variance(chain_scope),
+                    "subtree_scope_var": chain_variance(subtree_scope),
+                    "heads_agree": chain_scope == subtree_scope,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print("\n=== Ablation: GEOST σ_f² scope (chain prefix + subtree vs subtree only) ===")
+    for row in rows:
+        print(
+            f"seed {row['seed']}: chain-scope σ_f² {row['chain_scope_var']:.3e} "
+            f"vs subtree-only {row['subtree_scope_var']:.3e} "
+            f"(same head: {row['heads_agree']})"
+        )
+    for row in rows:
+        assert row["chain_scope_var"] <= row["subtree_scope_var"] * 1.001
+
+
+def test_ablation_finality_window(run_once):
+    """Windowed and unwindowed states agree on every head decision."""
+
+    def experiment():
+        result = cached_experiment(equality_scenario("themis", seed=1, n=40, epochs=12))
+        observer = result.observer
+        members = result.members
+        params = DifficultyParams(i0=10.0, h0=1.0, beta=8.0)
+        genesis = observer.state.genesis
+        windowed = ConsensusChainState(
+            genesis, lambda: members, params, "geost", finality_window=64
+        )
+        exact = ConsensusChainState(
+            genesis, lambda: members, params, "geost", finality_window=None
+        )
+        mismatches = 0
+        steps = 0
+        # Replay the observer's recorded blocks in arrival (insertion) order.
+        blocks = list(observer.tree.iter_blocks())
+        for block in blocks:
+            if block.height == 0:
+                continue
+            arrival = observer.tree.arrival_time(block.block_id)
+            windowed.add_block(block, arrival)
+            exact.add_block(block, arrival)
+            steps += 1
+            if windowed.head_id != exact.head_id:
+                mismatches += 1
+        return {"steps": steps, "mismatches": mismatches}
+
+    stats = run_once(experiment)
+    print(
+        f"\n=== Ablation: finality window (64) vs exact statistics ===\n"
+        f"replayed {stats['steps']} blocks; head mismatches: {stats['mismatches']}"
+    )
+    assert stats["mismatches"] == 0

@@ -1,0 +1,42 @@
+"""Fig. 3 — the initial computing-power distribution.
+
+"An Estimation of Blocks Mined by Different Nodes from Jan 06, 2022 to
+Jan 12, 2022" (§VII-A): pool node *i* gets power ``b_i · H0``; unknown blocks
+become independent nodes at ``H0``.  The benchmark prints the reconstructed
+ranking and asserts the two constraints the paper states in footnote 2.
+"""
+
+from __future__ import annotations
+
+from repro.mining.power import (
+    BTC_POOL_RANKING,
+    TOTAL_BLOCKS,
+    UNKNOWN_BLOCKS,
+    pool_distribution_profile,
+    top_k_share,
+)
+
+
+def test_fig3_distribution(run_once):
+    def experiment():
+        n_entities = len(BTC_POOL_RANKING) + UNKNOWN_BLOCKS
+        profile = pool_distribution_profile(n_entities)
+        return {
+            "profile": profile,
+            "top4": top_k_share(profile, 4),
+            "unknown_share": UNKNOWN_BLOCKS / TOTAL_BLOCKS,
+        }
+
+    result = run_once(experiment)
+    print("\n=== Fig. 3: blocks mined per node, Jan 06-12 2022 (reconstruction) ===")
+    for name, blocks in BTC_POOL_RANKING:
+        bar = "#" * (blocks // 4)
+        print(f"{name:>14s} {blocks:>5d}  {bar}")
+    print(f"{'unknown':>14s} {UNKNOWN_BLOCKS:>5d}  (as {UNKNOWN_BLOCKS} nodes @ H0)")
+    print(f"top-4 share   = {result['top4']:.4f}  (paper footnote 2: 0.5917)")
+    print(f"unknown share = {result['unknown_share']:.4f}  (paper footnote 2: 0.0168)")
+    # Footnote 2 constraints.
+    assert abs(result["top4"] - 0.5917) < 0.005
+    assert abs(result["unknown_share"] - 0.0168) < 0.002
+    # Fig. 1(a) context: under plain PoW this distribution is highly unequal.
+    assert result["profile"].variance_of_shares() > 1e-3

@@ -1,0 +1,92 @@
+"""Fig. 4 — Equality: variance of block-producing frequency against epochs.
+
+Paper result: "The Themis algorithm greatly improves the Equality compared to
+PoW-H ... the variance of block-producing frequency of Themis and Themis-Lite
+is only 10.80 % and 12.16 % of that of PoW-H" once converged, and PBFT's
+round-robin is exactly 0.  The shape to reproduce: Themis-family curves decay
+over epochs to a small fraction of PoW-H's flat curve, with GEOST (Themis)
+at or below GHOST (Themis-Lite).
+
+Scale: n = 40 with Δ = 8n (paper: n = 100), 12 epochs, 3 seeds.
+
+Aggregation note: converged values use the *median* across seeds and over
+the last 5 epochs.  Literal Eq. 6 occasionally fires a one-epoch burst (the
+``max(·, 1)`` reset of an over-shot multiple after a ``q = 0`` sample —
+analyzed in EXPERIMENTS.md); the paper's smooth curves imply its runs missed
+or smoothed these, and a mean would let a single burst epoch mask the
+converged level the figure reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import cached_experiment, print_series
+from repro.sim.metrics import stable_value
+from repro.sim.scenarios import equality_scenario
+
+SEEDS = (1, 2, 3)
+EPOCHS = 12
+N = 40
+
+
+def _series_per_seed(algorithm: str) -> list[list[float]]:
+    return [
+        cached_experiment(equality_scenario(algorithm, seed=s, n=N, epochs=EPOCHS)).equality
+        for s in SEEDS
+    ]
+
+
+def _median_series(per_seed: list[list[float]]) -> list[float]:
+    length = min(len(s) for s in per_seed)
+    return [float(np.median([s[i] for s in per_seed])) for i in range(length)]
+
+
+def _converged(per_seed: list[list[float]]) -> float:
+    return float(np.median([stable_value(s, robust=True) for s in per_seed]))
+
+
+def test_fig4_equality(run_once):
+    def experiment():
+        return {
+            algorithm: _series_per_seed(algorithm)
+            for algorithm in ("pow-h", "themis", "themis-lite", "pbft")
+        }
+
+    per_seed = run_once(experiment)
+    series = {alg: _median_series(runs) for alg, runs in per_seed.items()}
+    epochs = list(range(len(series["themis"])))
+    print_series(
+        "Fig. 4: Equality — σ_f² per epoch, median of 3 seeds (lower is better)",
+        "epoch",
+        {
+            "epoch": epochs,
+            "PoW-H": series["pow-h"][: len(epochs)],
+            "Themis": series["themis"],
+            "Themis-Lite": series["themis-lite"][: len(epochs)],
+            "PBFT": (series["pbft"] * len(epochs))[: len(epochs)],
+        },
+    )
+    powh_stable = _converged(per_seed["pow-h"])
+    themis_stable = _converged(per_seed["themis"])
+    lite_stable = _converged(per_seed["themis-lite"])
+    print(
+        f"\nconverged σ_f²: PoW-H {powh_stable:.3e} | Themis {themis_stable:.3e} "
+        f"({100 * themis_stable / powh_stable:.1f} % of PoW-H; paper: 10.80 %) | "
+        f"Themis-Lite {lite_stable:.3e} "
+        f"({100 * lite_stable / powh_stable:.1f} %; paper: 12.16 %)"
+    )
+    # Shape assertions:
+    # 1. PBFT's round-robin equality is (near-)perfect.
+    assert max(max(s) for s in per_seed["pbft"]) < 1e-6
+    # 2. Themis converges well below PoW-H (paper: ~9x; require >= 3x) and
+    #    Themis-Lite below PoW-H too (>= 2x; GHOST lacks GEOST's damping of
+    #    Eq. 6 reset bursts, so its tail is heavier).
+    assert themis_stable < powh_stable / 3
+    assert lite_stable < powh_stable / 2
+    # 3. Themis (GEOST) converges at or below Themis-Lite (GHOST).
+    assert themis_stable <= lite_stable * 1.25
+    # 4. Themis improves over its own first epoch (convergence happened).
+    assert themis_stable < series["themis"][0]
+    # 5. PoW-H never converges (no adaptation mechanism).
+    assert powh_stable > series["pow-h"][0] / 3

@@ -1,0 +1,67 @@
+"""Fig. 8 — Fork duration and fork rate among the three PoW-family rules.
+
+Paper result (6 experiments per algorithm, same difficulty and interval
+settings): "PoW-H has the lowest overhead, its fork rate is 4.36 %.
+Generally, it takes 1-2 blocks to converge, while Themis and Themis-Lite
+have a lower variance of block-producing probability.  So under the same
+settings, the fork duration (requiring 2-3 blocks to converge) and the fork
+rate (5.33 % and 5.61 %, respectively) both increased a little.  By
+comparing Themis and Themis-Lite, we find that, compared to GHOST, GEOST can
+effectively reduce the longest fork duration and fork rate."
+
+Shape: all fork rates are single-digit percentages; the equalized algorithms
+fork slightly more than concentrated PoW-H (a dominant producer never forks
+against itself); GEOST (Themis) <= GHOST (Themis-Lite) on both stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import cached_experiment
+from repro.sim.scenarios import fork_scenario
+
+SEEDS = (1, 2, 3, 4, 5, 6)  # the paper's "6 experiments"
+N = 40
+
+
+def test_fig8_fork_duration(run_once):
+    def experiment():
+        table = {}
+        for algorithm in ("pow-h", "themis", "themis-lite"):
+            reports = [
+                cached_experiment(fork_scenario(algorithm, seed=s, n=N)).fork
+                for s in SEEDS
+            ]
+            table[algorithm] = {
+                "fork_rate": float(np.mean([r.fork_rate for r in reports])),
+                "longest": float(np.mean([r.longest_duration for r in reports])),
+                "max_longest": max(r.longest_duration for r in reports),
+                "mean_duration": float(np.mean([r.mean_duration for r in reports])),
+            }
+        return table
+
+    table = run_once(experiment)
+    print("\n=== Fig. 8: fork rate and duration, mean of 6 runs (lower is better) ===")
+    print(f"{'algorithm':>14s} {'fork rate':>10s} {'longest':>9s} {'mean dur':>9s}")
+    paper = {"pow-h": 4.36, "themis": 5.33, "themis-lite": 5.61}
+    for algorithm, stats in table.items():
+        print(
+            f"{algorithm:>14s} {100 * stats['fork_rate']:>9.2f}% "
+            f"{stats['longest']:>9.2f} {stats['mean_duration']:>9.2f}"
+            f"   (paper fork rate: {paper[algorithm]:.2f} %)"
+        )
+    # 1. All fork rates are small single-digit percentages.
+    for algorithm, stats in table.items():
+        assert 0.0 < stats["fork_rate"] < 0.15, algorithm
+    # 2. Forks converge within a few blocks (paper: 1-3).
+    for algorithm, stats in table.items():
+        assert stats["max_longest"] <= 6, algorithm
+    # 3. GEOST does not fork longer than GHOST (paper: GEOST reduces the
+    #    longest fork duration and fork rate vs Themis-Lite).
+    assert (
+        table["themis"]["longest"] <= table["themis-lite"]["longest"] + 0.35
+    )
+    assert (
+        table["themis"]["fork_rate"] <= table["themis-lite"]["fork_rate"] + 0.01
+    )

@@ -1,0 +1,95 @@
+"""§VI-D — fork rate vs the Shahsavari model and the out-degree effect.
+
+Paper claims:
+
+* the PoW fork rate follows ``1 − e^{−δ/I0}`` (Shahsavari et al.);
+* "the fork rate of PoW gradually decreases, as the average out-degree of
+  nodes increases".
+
+The benchmark measures fork rates on real simulated runs, compares against
+the analytic curve with δ estimated from the overlay, and sweeps the
+out-degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import cached_experiment, print_series
+from repro.analysis.forkmodel import fork_rate_model, propagation_delay_estimate
+from repro.net.latency import LinkModel
+from repro.net.topology import random_regular_topology
+from repro.sim.runner import ExperimentConfig
+from repro.sim.scenarios import fork_scenario
+
+N = 40
+DEGREES = (4, 8, 16)
+
+
+def test_sec6d_model_vs_measured(run_once):
+    def experiment():
+        rows = []
+        for i0 in (4.0, 8.0, 16.0):
+            measured = []
+            for seed in (1, 2):
+                cfg = ExperimentConfig(
+                    algorithm="pow-h", n=N, seed=seed, epochs=5, i0=i0
+                )
+                measured.append(cached_experiment(cfg).fork.fork_rate)
+            link = LinkModel()
+            # δ: overlay diameter × per-hop latency for a compact block.
+            adjacency = random_regular_topology(N, 6, seed=1)
+            delta = propagation_delay_estimate(adjacency, link, 65_000)
+            rows.append(
+                {
+                    "i0": i0,
+                    "measured": float(np.mean(measured)),
+                    "model": fork_rate_model(delta, i0),
+                    "delta": delta,
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    print_series(
+        "§VI-D: fork rate — measured vs 1 − e^{−δ/I0}",
+        "I0 (s)",
+        {
+            "I0 (s)": [r["i0"] for r in rows],
+            "measured": [r["measured"] for r in rows],
+            "model": [r["model"] for r in rows],
+        },
+    )
+    # 1. Fork rate decreases as the block interval grows (both curves).
+    measured = [r["measured"] for r in rows]
+    model = [r["model"] for r in rows]
+    assert measured == sorted(measured, reverse=True)
+    assert model == sorted(model, reverse=True)
+    # 2. Model and measurement agree within a small factor (the model's δ is
+    #    a worst-case diameter, so it overestimates; require factor <= 5).
+    for r in rows:
+        ratio = r["model"] / max(r["measured"], 1e-4)
+        assert 0.2 < ratio < 8.0, r
+
+
+def test_sec6d_out_degree_effect(run_once):
+    def experiment():
+        rates = {}
+        for degree in DEGREES:
+            per_seed = []
+            for seed in (1, 2):
+                cfg = ExperimentConfig(
+                    algorithm="pow-h", n=N, seed=seed, epochs=4, i0=4.0, degree=degree
+                )
+                per_seed.append(cached_experiment(cfg).fork.fork_rate)
+            rates[degree] = float(np.mean(per_seed))
+        return rates
+
+    rates = run_once(experiment)
+    print_series(
+        "§VI-D: fork rate vs gossip out-degree (decreasing, per Shahsavari)",
+        "degree",
+        {"degree": list(DEGREES), "fork rate": [rates[d] for d in DEGREES]},
+    )
+    # Higher out-degree -> shorter propagation -> fewer forks.
+    assert rates[16] < rates[4]

@@ -1,0 +1,96 @@
+"""§VI-E — replacing Proof-of-Work with other Proof-of-X mechanisms.
+
+The paper sketches how Themis' adjustment carries over to Proof-of-Stake
+(modify how coinDay enters the target) and Proof-of-Reputation (add
+Algorand-style unpredictable leader election).  This benchmark quantifies
+both adaptations:
+
+* PoS: iterate the Eq. 6 feedback on a heavily skewed stake distribution and
+  measure how much σ_p² shrinks versus raw coinDay weighting;
+* PoR: compare plain reputation-argmax leadership (fully predictable, fixed
+  leader) against the seeded-lottery variant (rotating, unpredictable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.difficulty import DifficultyTable, next_multiples
+from repro.core.equality import variance_of_frequency
+from repro.core.pox import (
+    ReputationElection,
+    StakeAccount,
+    StakeElection,
+    equalization_gain,
+)
+
+from tests.conftest import keypair
+
+
+def _addr(i: int) -> bytes:
+    return keypair(i).public.fingerprint()
+
+
+def test_sec6e_pos_equalization(run_once):
+    def experiment():
+        # A whale-dominated stake distribution (Fig. 3-shaped).
+        stakes = {
+            _addr(0): StakeAccount(10_000.0, 10.0),
+            _addr(1): StakeAccount(3_000.0, 10.0),
+            _addr(2): StakeAccount(500.0, 10.0),
+            _addr(3): StakeAccount(100.0, 10.0),
+            _addr(4): StakeAccount(100.0, 10.0),
+        }
+        election = StakeElection(stakes)
+        members = election.members
+        raw = election.win_probabilities()
+        multiples = {m: 1.0 for m in members}
+        delta = 40
+        for _ in range(20):  # Eq. 6 feedback on expected wins
+            probs = election.win_probabilities(multiples)
+            counts = {m: delta * p for m, p in probs.items()}
+            table = DifficultyTable(epoch=0, base=1.0, multiples=multiples)
+            multiples = next_multiples(table, counts, members, delta)
+        adjusted = election.win_probabilities(multiples)
+        return raw, adjusted
+
+    raw, adjusted = run_once(experiment)
+    gain = equalization_gain(raw, adjusted)
+    print("\n=== §VI-E (PoS): win probabilities before/after Themis adjustment ===")
+    for i, member in enumerate(raw):
+        print(f"  member {i}: raw {raw[member]:.4f} -> adjusted {adjusted[member]:.4f}")
+    print(f"σ_p² reduction factor: {gain:.0f}x")
+    assert max(raw.values()) > 0.7  # whale dominates raw coinDay
+    assert max(adjusted.values()) < 0.25  # equalized toward 1/5
+    assert gain > 50
+
+
+def test_sec6e_por_unpredictability(run_once):
+    def experiment():
+        reputations = {_addr(i): float(1 + i * i) for i in range(6)}
+        election = ReputationElection(reputations, committee_factor=3.0)
+        members = election.members
+        # Plain PoR: the top-reputation node leads every round.
+        plain_leader = max(reputations, key=reputations.get)
+        lottery = election.empirical_leader_distribution(b"round-seed", rounds=600)
+        from collections import Counter
+
+        plain_counts = Counter({plain_leader: 600})
+        lottery_counts = Counter(
+            {m: round(f * 600) for m, f in lottery.items()}
+        )
+        return {
+            "plain_var": variance_of_frequency(plain_counts, members),
+            "lottery_var": variance_of_frequency(lottery_counts, members),
+            "distinct_leaders": sum(1 for f in lottery.values() if f > 0),
+        }
+
+    stats = run_once(experiment)
+    print(
+        "\n=== §VI-E (PoR): leader-frequency variance ===\n"
+        f"plain argmax PoR σ_f² = {stats['plain_var']:.4f} (one fixed leader) | "
+        f"lottery PoR σ_f² = {stats['lottery_var']:.4f} over "
+        f"{stats['distinct_leaders']} distinct leaders"
+    )
+    assert stats["lottery_var"] < stats["plain_var"] / 2
+    assert stats["distinct_leaders"] >= 3

@@ -1,0 +1,84 @@
+"""Fork-choice walkthrough: Alg. 1 step by step on the §V-B block tree.
+
+Builds the Fig. 2 decision point by hand and narrates GEOST's three-stage
+priority cascade at each fork: subtree size, then variance of
+block-producing frequency σ_f², then first-received.
+
+    python examples/fork_choice_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.chain.block import build_block
+from repro.chain.blocktree import BlockTree
+from repro.chain.forkchoice import GHOSTRule
+from repro.chain.genesis import make_genesis
+from repro.core.equality import variance_of_frequency
+from repro.core.geost import GEOSTRule
+from repro.crypto.keys import KeyPair
+
+
+def main() -> None:
+    producers = [KeyPair.from_seed(f"walkthrough-{i}") for i in range(6)]
+    members = [k.public.fingerprint() for k in producers]
+    names = {k.public.fingerprint(): f"N{i}" for i, k in enumerate(producers)}
+    genesis = make_genesis("walkthrough")
+    tree = BlockTree(genesis)
+    clock = [0.0]
+    labels: dict[bytes, str] = {genesis.block_id: "G"}
+
+    def grow(parent, producer_index, label):
+        clock[0] += 1.0
+        block = build_block(
+            producers[producer_index],
+            parent.block_id,
+            parent.height + 1,
+            [],
+            clock[0],
+            1.0,
+            1.0,
+            0,
+        )
+        tree.add_block(block, clock[0])
+        labels[block.block_id] = label
+        return block
+
+    # The §V-B shape: after block 2, two equal-sized subtrees compete.
+    b1 = grow(genesis, 0, "1")
+    b2 = grow(b1, 1, "2")
+    b3b = grow(b2, 0, "3B")  # producer N0 repeats -> concentrated chain
+    b3c = grow(b2, 2, "3C")  # fresh producer -> equal chain
+    b4b = grow(b3b, 1, "4B")
+    b4c = grow(b3c, 3, "4C")
+
+    print("Block tree (producer in parentheses):")
+    print("  G -- 1(N0) -- 2(N1) --+-- 3B(N0) -- 4B(N1)")
+    print("                        +-- 3C(N2) -- 4C(N3)\n")
+
+    prefix = Counter(
+        {producers[0].public.fingerprint(): 1, producers[1].public.fingerprint(): 1}
+    )
+    print("At the fork under block 2, GEOST's cascade:")
+    for child, tail in ((b3b.block_id, "3B"), (b3c.block_id, "3C")):
+        size = tree.subtree_size(child)
+        counts = prefix + tree.subtree_producers(child)
+        var = variance_of_frequency(counts, members)
+        chain_producers = [names[p] for p in counts.elements()]
+        print(
+            f"  subtree {tail}: size {size}, chain producers {sorted(chain_producers)}, "
+            f"σ_f² = {var:.5f}"
+        )
+    print("  sizes tie (2 = 2) -> σ_f² decides -> 3C's chain is more equal\n")
+
+    ghost_head = GHOSTRule().head(tree)
+    geost_head = GEOSTRule(lambda: members).head(tree)
+    print(f"GHOST (first received on tie) picks: {labels[ghost_head]}")
+    print(f"GEOST (most equal chain)      picks: {labels[geost_head]}")
+    assert labels[ghost_head] == "4B"
+    assert labels[geost_head] == "4C"
+
+
+if __name__ == "__main__":
+    main()

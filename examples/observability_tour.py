@@ -1,0 +1,66 @@
+"""Observability tour: tracing, the tree explorer, and epoch reports.
+
+Runs a small Themis consortium, then inspects it three ways:
+
+* the shared :class:`Tracer` timeline (who produced what, reorgs);
+* the block-tree explorer (forks, lineage, producer table);
+* per-epoch difficulty reports (interval control, multiple spread, σ_f²).
+
+    python examples/observability_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.epochs import epoch_reports, format_epoch_reports
+from repro.chain.explorer import chain_summary, find_forks, head_lineage
+from repro.sim.runner import ExperimentConfig, run_experiment
+from repro.sim.tracing import Tracer
+
+
+def main() -> None:
+    result = run_experiment(
+        ExperimentConfig(algorithm="themis", n=10, epochs=4, seed=5)
+    )
+    observer = result.observer
+    members = result.members
+    name_of = {m: f"N{i}" for i, m in enumerate(members)}.get
+
+    print("=== chain summary ===")
+    print(chain_summary(observer.main_chain(), name_of=lambda p: name_of(p, "?")))
+
+    print("\n=== last 8 blocks behind the head ===")
+    print(
+        head_lineage(
+            observer.tree,
+            observer.state.head_id,
+            depth=8,
+            name_of=lambda p: name_of(p, "?"),
+        )
+    )
+
+    forks = find_forks(observer.tree)
+    print(f"\n=== forks: {len(forks)} fork points in the final tree ===")
+    for fork in forks[-5:]:
+        branches = ", ".join(f"{bid.hex()[:8]}(size {size})" for bid, size in fork.branches)
+        print(f"  at height {fork.height}: {branches}")
+
+    print("\n=== per-epoch difficulty report ===")
+    reports = epoch_reports(observer.state, members)
+    print(format_epoch_reports(reports))
+
+    print("\n=== tracing a fresh 30-block run ===")
+    # Tracing hooks live on the nodes; attach a tracer and run a small fleet.
+    from repro.sim.fleet import build_mining_fleet, run_fleet_to_height
+    from repro.sim.tracing import attach_tracer
+
+    ctx, nodes = build_mining_fleet(4, seed=8, beta=2.0, i0=5.0)
+    tracer = attach_tracer(nodes, Tracer())
+    run_fleet_to_height(ctx, nodes, 30)
+    counts = tracer.counts_by_kind()
+    print(f"event counts: {dict(counts)}")
+    print("tail of the timeline:")
+    print(tracer.timeline(limit=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: a 5-node Themis consortium with REAL SHA-256 mining.
+
+Runs the full §III pipeline end to end — every node grinds nonces against an
+easy target, signs its block headers, gossips blocks over the simulated
+network, validates incoming headers (membership, difficulty table, puzzle,
+signature), and resolves forks with GEOST.
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.chain.genesis import make_genesis
+from repro.consensus.base import RunContext
+from repro.consensus.powfamily import MiningNode, MiningNodeConfig
+from repro.core.difficulty import DifficultyParams
+from repro.crypto.hashing import EASY_T0
+from repro.crypto.keys import KeyPair
+from repro.mining.oracle import MiningOracle
+from repro.net.latency import LinkModel
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.topology import complete_topology
+
+
+def main() -> None:
+    n = 5
+    target_height = 20
+
+    # -- substrate: simulator, network, identities ---------------------------
+    sim = Simulator(seed=2022)
+    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+    params = DifficultyParams(t0=EASY_T0, i0=3.0, h0=1.0, beta=2.0)
+    keys = [KeyPair.from_seed(f"quickstart-{i}") for i in range(n)]
+    ctx = RunContext(
+        sim=sim,
+        network=network,
+        oracle=MiningOracle(sim.rng, params.t0),
+        genesis=make_genesis("quickstart"),
+        params=params,
+        members=[k.public.fingerprint() for k in keys],
+    )
+
+    # -- a fleet of real-PoW Themis nodes ------------------------------------
+    config = MiningNodeConfig(
+        rule_kind="geost",
+        adaptive=True,
+        hash_rate=1.0,
+        sign_blocks=True,
+        verify_signatures=True,
+        real_pow=True,  # grind actual SHA-256 nonces
+    )
+    nodes = [MiningNode(i, keys[i], ctx, config) for i in range(n)]
+    for node in nodes:
+        node.start()
+
+    print(f"Mining a {target_height}-block Themis chain with {n} real-PoW nodes ...")
+    sim.run(stop_when=lambda: nodes[0].state.height() >= target_height)
+    sim.run(until=sim.now + 20.0)  # drain in-flight gossip
+
+    # -- inspect the result ---------------------------------------------------
+    observer = nodes[0]
+    chain = observer.main_chain()
+    print(f"\nmain chain after {sim.now:.0f} simulated seconds:")
+    name_of = {k.public.fingerprint(): f"node-{i}" for i, k in enumerate(keys)}
+    for block in chain[1:]:
+        print(
+            f"  height {block.height:>3d}  {block.block_id.hex()[:16]}  "
+            f"producer {name_of[block.producer]}  "
+            f"D = {block.header.difficulty:6.2f}  nonce {block.header.nonce}"
+        )
+
+    counts = Counter(name_of[b.producer] for b in chain[1:])
+    print(f"\nblocks per node: {dict(sorted(counts.items()))}")
+    heads = {node.state.head_id for node in nodes}
+    print(f"all {n} nodes agree on the head: {len(heads) == 1}")
+    assert len(heads) == 1, "nodes diverged — should never happen after drain"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-517 editable installs (``pip install -e .``) cannot build metadata.  This
+shim lets ``python setup.py develop`` (and pip's legacy fallback) work; all
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

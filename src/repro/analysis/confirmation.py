@@ -1,0 +1,99 @@
+"""Confirmation policy: turning Prop. 2 into deployment numbers.
+
+§V-A motivates GEOST with confirmation latency: "in consortium blockchains,
+long block confirmation time will severely affect the timeliness of
+applications" (Bitcoin waits ~1 h).  Prop. 2 gives the revert probability of
+a depth-``z`` confirmed block against a ``q``-rate attacker as ``q^{z+1}``
+(gambler's ruin).  This module inverts that relation into operational
+policy: how many confirmations a consortium needs for a target assurance,
+and what that costs in latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.attacks import nakamoto_catch_up_probability
+
+
+def required_confirmations(q: float, target_revert_probability: float) -> int:
+    """Smallest depth ``z`` with ``q^{z+1} <= target``.
+
+    Args:
+        q: attacker block rate relative to the honest set, in [0, 1).
+        target_revert_probability: acceptable revert probability in (0, 1).
+    """
+    if not 0.0 <= q < 1.0:
+        raise SimulationError("q must be in [0, 1)")
+    if not 0.0 < target_revert_probability < 1.0:
+        raise SimulationError("target probability must be in (0, 1)")
+    if q == 0.0:
+        return 0
+    # q^(z+1) <= target  =>  z >= log(target)/log(q) - 1.
+    z = math.ceil(math.log(target_revert_probability) / math.log(q) - 1.0)
+    return max(0, z)
+
+
+@dataclass(frozen=True)
+class ConfirmationPolicy:
+    """A deployment's confirmation rule.
+
+    Attributes:
+        assumed_attacker_rate: the strongest attacker the consortium defends
+            against, as a fraction ``q`` of the honest block rate.
+        target_revert_probability: acceptable probability that a confirmed
+            block is later reverted.
+        block_interval: expected block interval ``I0`` in seconds.
+    """
+
+    assumed_attacker_rate: float
+    target_revert_probability: float
+    block_interval: float
+
+    def __post_init__(self) -> None:
+        if self.block_interval <= 0:
+            raise SimulationError("block interval must be positive")
+        # Validate the other two fields through the shared checks.
+        required_confirmations(
+            self.assumed_attacker_rate, self.target_revert_probability
+        )
+
+    @property
+    def confirmations(self) -> int:
+        """Confirmation depth this policy requires."""
+        return required_confirmations(
+            self.assumed_attacker_rate, self.target_revert_probability
+        )
+
+    @property
+    def expected_latency(self) -> float:
+        """Expected wait in seconds until a block is confirmed."""
+        return self.confirmations * self.block_interval
+
+    def actual_revert_probability(self) -> float:
+        """Revert probability actually achieved at the chosen depth."""
+        return nakamoto_catch_up_probability(
+            self.assumed_attacker_rate, self.confirmations
+        )
+
+    def describe(self) -> str:
+        """One-line policy summary."""
+        return (
+            f"defend vs q={self.assumed_attacker_rate:.2f}: "
+            f"{self.confirmations} confirmations "
+            f"(~{self.expected_latency:.0f}s at I0={self.block_interval:.0f}s, "
+            f"revert p<={self.actual_revert_probability():.2e})"
+        )
+
+
+def latency_table(
+    qs: list[float], target: float, block_interval: float
+) -> list[tuple[float, int, float]]:
+    """(q, confirmations, latency) rows for a sweep of attacker strengths."""
+    rows = []
+    for q in qs:
+        z = required_confirmations(q, target)
+        rows.append((q, z, z * block_interval))
+    return rows

@@ -1,0 +1,231 @@
+"""The local block tree.
+
+§III: "Valid blocks will be added to the local block tree"; forks appear as
+multiple children of one parent.  Every fork-choice rule in this library
+(longest-chain, GHOST, GEOST) is a pure function over this structure, so the
+tree maintains exactly the statistics the rules need:
+
+* children of each block, ordered by local *reception order* — the paper's
+  final tie-break is "the sub-tree first received by the node" (§V-B);
+* subtree block counts — GHOST weight and GEOST's primary key;
+* subtree producer histograms — GEOST's variance-of-frequency key (§V-B);
+* per-height index — fork-rate and fork-duration metrics (§VII-C).
+
+Blocks that arrive before their parent (possible under gossip reordering) are
+buffered as orphans and attached automatically once the parent is inserted.
+All statistics update incrementally in O(depth) per insertion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.chain.block import Block
+from repro.errors import DuplicateBlockError, UnknownParentError
+
+
+@dataclass
+class _Entry:
+    """Bookkeeping attached to each block in the tree."""
+
+    block: Block
+    arrival_seq: int
+    arrival_time: float
+    children: list[bytes] = field(default_factory=list)
+    subtree_size: int = 1
+    subtree_producers: Counter = field(default_factory=Counter)
+
+
+class BlockTree:
+    """A rooted tree of blocks with incremental subtree statistics.
+
+    ``finality_window`` bounds the cost of statistic propagation: updates
+    stop once the ancestor walk falls ``finality_window`` heights below the
+    tallest block seen.  Blocks that deep are final for every rule in this
+    library (fork durations are 2–3 heights, Fig. 8; Prop. 1 bounds the
+    expected convergence time), so their frozen counters are never compared
+    again — they remain exact for subtrees that stopped growing and lower
+    bounds for the winning subtree, preserving every comparison's outcome.
+    Pass ``None`` to disable the cutoff (exact statistics everywhere).
+    """
+
+    def __init__(self, genesis: Block, finality_window: int | None = 64) -> None:
+        self._genesis_id = genesis.block_id
+        self._entries: dict[bytes, _Entry] = {}
+        self._by_height: dict[int, list[bytes]] = defaultdict(list)
+        self._orphans: dict[bytes, list[tuple[Block, float]]] = defaultdict(list)
+        self._next_seq = 0
+        self.finality_window = finality_window
+        self._max_height = 0
+        self._insert(genesis, arrival_time=genesis.header.timestamp)
+
+    # -- insertion -------------------------------------------------------------
+
+    def _insert(self, block: Block, arrival_time: float) -> None:
+        entry = _Entry(
+            block=block,
+            arrival_seq=self._next_seq,
+            arrival_time=arrival_time,
+        )
+        self._next_seq += 1
+        block_id = block.block_id
+        self._entries[block_id] = entry
+        self._by_height[block.height].append(block_id)
+        self._max_height = max(self._max_height, block.height)
+        if block_id != self._genesis_id:
+            self._entries[block.parent_hash].children.append(block_id)
+            # Propagate subtree statistics up the ancestor path, stopping at
+            # the finality cutoff (see class docstring).
+            cutoff = (
+                self._max_height - self.finality_window
+                if self.finality_window is not None
+                else -1
+            )
+            producer = block.producer
+            cursor: bytes | None = block.parent_hash
+            entry.subtree_producers[producer] += 1
+            while cursor is not None:
+                ancestor = self._entries[cursor]
+                ancestor.subtree_size += 1
+                ancestor.subtree_producers[producer] += 1
+                if ancestor.block.height <= cutoff:
+                    break
+                parent = ancestor.block.parent_hash
+                cursor = parent if parent in self._entries else None
+
+    def add_block(self, block: Block, arrival_time: float) -> bool:
+        """Insert a block; returns ``True`` if attached, ``False`` if orphaned.
+
+        An orphan (parent not yet known) is buffered and attached when its
+        parent arrives; its reception order is assigned at attachment time,
+        which matches how a real node would perceive "first received".
+        Raises :class:`DuplicateBlockError` on re-insertion.
+        """
+        block_id = block.block_id
+        if block_id in self._entries:
+            raise DuplicateBlockError(f"block {block_id.hex()[:12]} already in tree")
+        if block.parent_hash not in self._entries:
+            self._orphans[block.parent_hash].append((block, arrival_time))
+            return False
+        self._insert(block, arrival_time)
+        self._attach_orphans(block_id, arrival_time)
+        return True
+
+    def _attach_orphans(self, parent_id: bytes, arrival_time: float) -> None:
+        pending = self._orphans.pop(parent_id, [])
+        for orphan, orphan_time in pending:
+            self._insert(orphan, max(orphan_time, arrival_time))
+            self._attach_orphans(orphan.block_id, arrival_time)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def genesis_id(self) -> bytes:
+        """Identifier of the genesis block."""
+        return self._genesis_id
+
+    def __contains__(self, block_id: bytes) -> bool:
+        return block_id in self._entries
+
+    def __len__(self) -> int:
+        """Number of attached blocks, genesis included."""
+        return len(self._entries)
+
+    @property
+    def orphan_count(self) -> int:
+        """Number of buffered blocks still waiting for a parent."""
+        return sum(len(v) for v in self._orphans.values())
+
+    def get(self, block_id: bytes) -> Block:
+        """Return the block for an identifier (KeyError if absent)."""
+        return self._entries[block_id].block
+
+    def has_block(self, block_id: bytes) -> bool:
+        return block_id in self._entries
+
+    def children(self, block_id: bytes) -> list[bytes]:
+        """Children of a block, in local reception order (§V-B tie-break)."""
+        return list(self._entries[block_id].children)
+
+    def parent(self, block_id: bytes) -> bytes | None:
+        """Parent id, or ``None`` for genesis."""
+        if block_id == self._genesis_id:
+            return None
+        return self._entries[block_id].block.parent_hash
+
+    def arrival_seq(self, block_id: bytes) -> int:
+        """Local reception sequence number (lower = received earlier)."""
+        return self._entries[block_id].arrival_seq
+
+    def arrival_time(self, block_id: bytes) -> float:
+        """Local reception timestamp."""
+        return self._entries[block_id].arrival_time
+
+    def subtree_size(self, block_id: bytes) -> int:
+        """Number of blocks in the subtree rooted at ``block_id`` (inclusive)."""
+        return self._entries[block_id].subtree_size
+
+    def subtree_producers(self, block_id: bytes) -> Counter:
+        """Histogram of producers over the subtree rooted at ``block_id``.
+
+        The root block's own producer is included (it is part of the chain a
+        vote for this subtree would finalize); genesis' null producer is never
+        counted because genesis has no producer.
+        """
+        return Counter(self._entries[block_id].subtree_producers)
+
+    def subtree_producers_view(self, block_id: bytes) -> Counter:
+        """Zero-copy view of a subtree's producer histogram.
+
+        Callers must not mutate the returned Counter; fork-choice rules read
+        it on their hot path where the defensive copy of
+        :meth:`subtree_producers` would dominate.
+        """
+        return self._entries[block_id].subtree_producers
+
+    def chain_to(self, block_id: bytes) -> list[Block]:
+        """Blocks from genesis to ``block_id``, inclusive, in height order."""
+        path: list[Block] = []
+        cursor: bytes | None = block_id
+        while cursor is not None:
+            entry = self._entries[cursor]
+            path.append(entry.block)
+            cursor = self.parent(cursor)
+        path.reverse()
+        return path
+
+    def blocks_at_height(self, height: int) -> list[bytes]:
+        """All block ids at a height, in reception order."""
+        return list(self._by_height.get(height, []))
+
+    def max_height(self) -> int:
+        """Height of the tallest block in the tree."""
+        return max(self._by_height)
+
+    def leaves(self) -> list[bytes]:
+        """All blocks without children, in reception order."""
+        return [
+            block_id
+            for block_id, entry in self._entries.items()
+            if not entry.children
+        ]
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Iterate over all attached blocks in insertion order."""
+        for entry in sorted(self._entries.values(), key=lambda e: e.arrival_seq):
+            yield entry.block
+
+    def is_ancestor(self, ancestor_id: bytes, descendant_id: bytes) -> bool:
+        """Return whether ``ancestor_id`` lies on the path to ``descendant_id``."""
+        cursor: bytes | None = descendant_id
+        ancestor_height = self._entries[ancestor_id].block.height
+        while cursor is not None:
+            entry = self._entries[cursor]
+            if cursor == ancestor_id:
+                return True
+            if entry.block.height <= ancestor_height:
+                return False
+            cursor = self.parent(cursor)
+        return False

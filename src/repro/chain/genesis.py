@@ -1,0 +1,37 @@
+"""Deterministic genesis-block construction.
+
+"B[0] = GenesisBlock ... a constant shared by all consensus nodes" (Alg. 1).
+The genesis block has no producer, no signature and no transactions; its
+header fields are fixed functions of a chain identifier so that every node in
+a deployment derives the identical block.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import BLOCK_VERSION, Block, BlockHeader
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import EMPTY_ROOT
+
+#: Null producer fingerprint carried by the genesis header.
+GENESIS_PRODUCER = b"\x00" * 20
+
+
+def make_genesis(chain_id: str = "themis", timestamp: float = 0.0) -> Block:
+    """Build the genesis block for a chain identifier.
+
+    The parent hash is ``sha256(chain_id)`` so distinct consortium deployments
+    produce disjoint block trees even with identical parameters.
+    """
+    header = BlockHeader(
+        version=BLOCK_VERSION,
+        height=0,
+        parent_hash=sha256(chain_id.encode("utf-8")),
+        merkle_root=EMPTY_ROOT,
+        timestamp=timestamp,
+        producer=GENESIS_PRODUCER,
+        difficulty_multiple=1.0,
+        base_difficulty=1.0,
+        epoch=0,
+        nonce=0,
+    )
+    return Block(header=header, signature=None, transactions=())

@@ -1,0 +1,76 @@
+"""Chain persistence: save and load block trees.
+
+A consortium node must survive restarts with its local block tree (and the
+reception metadata GEOST's first-received tie-break depends on) intact.  The
+store serializes the tree as a length-prefixed stream through the canonical
+codec:
+
+    magic ‖ version ‖ genesis-block ‖ count ‖ (block ‖ arrival_time)*
+
+Blocks are written in insertion order, so reloading replays them through
+:meth:`BlockTree.add_block` and reconstructs identical children ordering,
+arrival sequence numbers and subtree statistics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chain.block import Block
+from repro.chain.blocktree import BlockTree
+from repro.chain.codec import Reader, Writer
+from repro.errors import CodecError
+
+#: File magic and current format version.
+MAGIC = b"THMS"
+FORMAT_VERSION = 1
+
+
+def serialize_tree(tree: BlockTree) -> bytes:
+    """Serialize a block tree (blocks + arrival metadata) to bytes."""
+    blocks = list(tree.iter_blocks())
+    writer = Writer()
+    writer.write_bytes_raw(MAGIC)
+    writer.write_varint(FORMAT_VERSION)
+    genesis = blocks[0]
+    writer.write_bytes(genesis.to_bytes())
+    writer.write_varint(len(blocks) - 1)
+    for block in blocks[1:]:
+        writer.write_bytes(block.to_bytes())
+        writer.write_float(tree.arrival_time(block.block_id))
+    return writer.getvalue()
+
+
+def deserialize_tree(
+    data: bytes, finality_window: int | None = 64
+) -> BlockTree:
+    """Rebuild a block tree from :func:`serialize_tree` output."""
+    reader = Reader(data)
+    magic = reader.read_bytes_raw(4)
+    if magic != MAGIC:
+        raise CodecError(f"bad chain-store magic {magic!r}")
+    version = reader.read_varint()
+    if version != FORMAT_VERSION:
+        raise CodecError(f"unsupported chain-store version {version}")
+    genesis = Block.from_bytes(reader.read_bytes())
+    tree = BlockTree(genesis, finality_window=finality_window)
+    count = reader.read_varint()
+    for _ in range(count):
+        block = Block.from_bytes(reader.read_bytes())
+        arrival = reader.read_float()
+        tree.add_block(block, arrival)
+    reader.expect_end()
+    return tree
+
+
+def save_tree(tree: BlockTree, path: str | Path) -> Path:
+    """Write a tree to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(serialize_tree(tree))
+    return path
+
+
+def load_tree(path: str | Path, finality_window: int | None = 64) -> BlockTree:
+    """Read a tree back from disk."""
+    return deserialize_tree(Path(path).read_bytes(), finality_window=finality_window)

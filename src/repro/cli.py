@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one experiment with explicit parameters, printing the §VII-C
+  metrics and optionally saving a JSON record;
+* ``figure`` — regenerate a paper figure's data series at a chosen scale;
+* ``compare`` — run all four algorithms side by side at one configuration.
+
+Examples::
+
+    python -m repro run --algorithm themis --nodes 40 --epochs 10
+    python -m repro figure fig4 --nodes 30 --epochs 10
+    python -m repro compare --nodes 24 --epochs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.sim.reporting import ascii_chart, save_results, summary_line
+from repro.sim.runner import ExperimentConfig, run_experiment
+from repro.sim.scenarios import (
+    POW_FAMILY,
+    attack_scenario,
+    epoch_length_scenario,
+    equality_scenario,
+    fork_scenario,
+    scalability_scenario,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", "-n", type=int, default=24, help="consensus nodes")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--epochs", type=int, default=6, help="difficulty epochs")
+    parser.add_argument("--beta", type=float, default=8.0, help="epoch factor Δ/n")
+    parser.add_argument("--i0", type=float, default=10.0, help="block interval (s)")
+    parser.add_argument(
+        "--vulnerable", type=float, default=0.0, help="vulnerable node ratio"
+    )
+    parser.add_argument("--save", type=str, default=None, help="write JSON record")
+
+
+def _config_from_args(args: argparse.Namespace, algorithm: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        algorithm=algorithm,  # type: ignore[arg-type]
+        n=args.nodes,
+        seed=args.seed,
+        epochs=args.epochs,
+        beta=args.beta,
+        i0=args.i0,
+        vulnerable_ratio=args.vulnerable,
+        pbft_rounds=max(20, args.epochs * args.nodes),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = _config_from_args(args, args.algorithm)
+    result = run_experiment(cfg)
+    print(summary_line(result))
+    if result.equality:
+        print("\nσ_f² per epoch:")
+        print(ascii_chart({"sigma_f^2": result.equality}, logy=True))
+    if args.save:
+        path = save_results([result], args.save)
+        print(f"\nsaved record to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = []
+    for algorithm in (*POW_FAMILY, "pbft"):
+        result = run_experiment(_config_from_args(args, algorithm))
+        results.append(result)
+        print(summary_line(result))
+    if args.save:
+        path = save_results(results, args.save)
+        print(f"\nsaved records to {path}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name in ("fig4", "fig5"):
+        series = {}
+        for algorithm in POW_FAMILY:
+            cfg = equality_scenario(
+                algorithm, seed=args.seed, n=args.nodes, epochs=args.epochs
+            )
+            result = run_experiment(cfg)
+            series[algorithm] = (
+                result.equality if name == "fig4" else result.unpredictability
+            )
+            print(summary_line(result))
+        metric = "σ_f²" if name == "fig4" else "σ_p²"
+        print(f"\n{metric} per epoch (log scale):")
+        print(ascii_chart(series, logy=True))
+    elif name == "fig6":
+        for algorithm in (*POW_FAMILY, "pbft"):
+            tps = []
+            ns = (16, 50, 100, 200)
+            for n in ns:
+                tps.append(run_experiment(scalability_scenario(algorithm, n)).tps)
+            print(f"{algorithm:>12s}: " + "  ".join(f"n={n}:{t:7.0f}" for n, t in zip(ns, tps)))
+    elif name == "fig7":
+        for algorithm in (*POW_FAMILY, "pbft"):
+            row = []
+            for ratio in (0.0, 0.16, 0.32):
+                row.append(
+                    run_experiment(
+                        attack_scenario(algorithm, ratio, seed=args.seed, n=args.nodes)
+                    ).tps
+                )
+            print(
+                f"{algorithm:>12s}: "
+                + "  ".join(f"R={r:.2f}:{t:7.0f}" for r, t in zip((0.0, 0.16, 0.32), row))
+            )
+    elif name == "fig8":
+        for algorithm in POW_FAMILY:
+            report = run_experiment(
+                fork_scenario(algorithm, seed=args.seed, n=args.nodes)
+            ).fork
+            print(
+                f"{algorithm:>12s}: fork rate {100 * report.fork_rate:5.2f}% "
+                f"longest {report.longest_duration}"
+            )
+    elif name == "fig9":
+        from repro.sim.metrics import stable_value
+
+        # Same-block-height comparison (§VII-D): height = epochs·8·n.
+        height_factor = max(16, args.epochs * 8)
+        for beta in (2.0, 4.0, 8.0, 12.0, 16.0):
+            result = run_experiment(
+                epoch_length_scenario(
+                    beta, seed=args.seed, n=args.nodes, height_factor=height_factor
+                )
+            )
+            print(f"beta={beta:5.1f}: stable σ_f² = {stable_value(result.equality):.3e}")
+    else:
+        print(f"unknown figure {name!r}; choose fig4..fig9", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Themis (ICDCS 2022) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "--algorithm",
+        "-a",
+        default="themis",
+        choices=["themis", "themis-lite", "pow-h", "pbft"],
+    )
+    _add_common(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="all four algorithms side by side")
+    _add_common(compare_parser)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", help="fig4 | fig5 | fig6 | fig7 | fig8 | fig9")
+    _add_common(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Shared interface and context for consensus node implementations.
+
+A *node* here is a full simulated participant: it owns an identity keypair,
+sits on the simulated network, and drives its consensus engine from network
+events.  :class:`RunContext` bundles the per-run singletons every node needs
+(simulator, network, oracle, genesis, difficulty constants) so constructing a
+fleet of nodes stays declarative.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block
+from repro.core.difficulty import DifficultyParams
+from repro.crypto.keys import KeyPair
+from repro.mining.oracle import MiningOracle
+from repro.net.message import Message
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+
+#: Estimated serialized header + signature envelope size in bytes, used when
+#: charging compact block relays (header + per-tx ids).
+HEADER_WIRE_BYTES = 260
+
+#: Bytes charged per transaction id in a compact block relay.
+COMPACT_TX_BYTES = 32
+
+#: Bytes charged per transaction in a full-body relay (§VII-A).
+FULL_TX_BYTES = 512
+
+#: Wire size of a PBFT vote (prepare/commit/view-change) body.
+VOTE_BYTES = 192
+
+
+@dataclass
+class RunContext:
+    """Per-run singletons shared by every node in a simulation."""
+
+    sim: Simulator
+    network: SimulatedNetwork
+    oracle: MiningOracle
+    genesis: Block
+    params: DifficultyParams
+    members: list[bytes] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Number of consensus members."""
+        return len(self.members)
+
+
+class ConsensusNode(ABC):
+    """A consensus participant bound to one network endpoint."""
+
+    def __init__(self, node_id: int, keypair: KeyPair, ctx: RunContext) -> None:
+        self.node_id = node_id
+        self.keypair = keypair
+        self.ctx = ctx
+        self.address = keypair.public.fingerprint()
+        ctx.network.attach(node_id, self.on_message)
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin participating (arm timers, start mining, ...)."""
+
+    @abstractmethod
+    def on_message(self, message: Message, from_peer: int) -> None:
+        """Network delivery callback."""
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def block_wire_size(self, tx_count: int, compact: bool) -> int:
+        """Bytes a block relay occupies on the wire.
+
+        Compact relays (header + transaction ids) model the standard
+        consortium/Bitcoin optimization where transaction bodies are already
+        disseminated ahead of consensus; full relays charge §VII-A's 512
+        bytes per transaction.
+        """
+        per_tx = COMPACT_TX_BYTES if compact else FULL_TX_BYTES
+        return HEADER_WIRE_BYTES + per_tx * tx_count

@@ -1,0 +1,393 @@
+"""The PoW-family consensus nodes: Themis, Themis-Lite, and PoW-H.
+
+All three algorithms share one node implementation — they differ only in two
+switches of :class:`MiningNodeConfig` (§VII-B):
+
+=============  ==========  =========
+algorithm      rule_kind   adaptive
+=============  ==========  =========
+Themis         ``geost``   ``True``
+Themis-Lite    ``ghost``   ``True``
+PoW-H          ``ghost``   ``False``
+=============  ==========  =========
+
+Each node independently mines on its current head (solve times sampled from
+the mining oracle, or ground with the real miner in ``real_pow`` mode),
+gossips solved blocks, validates and inserts received blocks, and re-arms its
+miner whenever the head moves — re-sampling on head change is statistically
+free because exponential solve times are memoryless.
+
+Two workload modes:
+
+* **virtual** (default) — blocks carry no transaction bodies; each block
+  represents ``batch_size`` transactions for TPS accounting and is charged
+  the corresponding wire size.  This is how the large sweeps (Fig. 4–9) run.
+* **real** — blocks carry signed :class:`~repro.chain.transaction.Transaction`
+  objects drawn from a mempool and executed against the ledger (used by the
+  governance example and integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.chain.block import Block, sign_block
+from repro.chain.blocktree import BlockTree
+from repro.core.difficulty import DifficultyTable
+from repro.core.election import BlockBuilder, BlockValidator
+from repro.core.themis import ConsensusChainState, RuleKind
+from repro.crypto.keys import KeyPair
+from repro.errors import InvalidBlockError
+from repro.ledger.executor import Executor
+from repro.ledger.mempool import Mempool
+from repro.ledger.state import AccountState
+from repro.mining.miner import RealMiner
+from repro.net.message import Message
+from repro.net.simulator import EventHandle
+from repro.consensus.base import ConsensusNode, RunContext
+
+
+@dataclass(frozen=True)
+class MiningNodeConfig:
+    """Behavioral switches for a PoW-family node.
+
+    Attributes:
+        rule_kind: main-chain rule (``geost`` / ``ghost`` / ``longest``).
+        adaptive: enable the §IV-A difficulty multiples (Themis family).
+        hash_rate: the node's actual computing power ``h_i`` in puzzle
+            evaluations per second.
+        batch_size: virtual transactions represented by each block.
+        compact_blocks: charge compact (id-only) block relays; see
+            :meth:`~repro.consensus.base.ConsensusNode.block_wire_size`.
+        sign_blocks / verify_signatures: real ECDSA on headers.  On for
+            correctness tests; off for large sweeps (pure-Python ECDSA costs
+            ~25 ms per operation, which would dominate a 600-node run).
+        real_pow: grind real SHA-256 nonces instead of sampling the oracle.
+            Implies puzzle verification on receipt.
+        execute_ledger: carry and execute real transactions.
+    """
+
+    rule_kind: RuleKind = "geost"
+    adaptive: bool = True
+    hash_rate: float = 1.0
+    batch_size: int = 2000
+    compact_blocks: bool = True
+    sign_blocks: bool = False
+    verify_signatures: bool = False
+    real_pow: bool = False
+    execute_ledger: bool = False
+
+
+def themis_config(**overrides) -> MiningNodeConfig:
+    """Config for the full Themis algorithm (GEOST + adaptive difficulty)."""
+    return MiningNodeConfig(rule_kind="geost", adaptive=True, **overrides)
+
+
+def themis_lite_config(**overrides) -> MiningNodeConfig:
+    """Config for Themis-Lite (GHOST + adaptive difficulty), §VII-B."""
+    return MiningNodeConfig(rule_kind="ghost", adaptive=True, **overrides)
+
+
+def powh_config(**overrides) -> MiningNodeConfig:
+    """Config for PoW-H (GHOST + fixed multiples), §VII-B."""
+    return MiningNodeConfig(rule_kind="ghost", adaptive=False, **overrides)
+
+
+@dataclass
+class MiningStats:
+    """Per-node production counters."""
+
+    blocks_produced: int = 0
+    blocks_accepted: int = 0
+    blocks_rejected: int = 0
+    reorgs: int = 0
+
+
+class MiningNode(ConsensusNode):
+    """A Themis / Themis-Lite / PoW-H consensus participant."""
+
+    #: Optional shared event log (see :mod:`repro.sim.tracing`).
+    tracer = None
+
+    def _trace(self, kind: str, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.ctx.sim.now, self.node_id, kind, **detail)
+
+    def __init__(
+        self,
+        node_id: int,
+        keypair: KeyPair,
+        ctx: RunContext,
+        config: MiningNodeConfig,
+        mempool: Mempool | None = None,
+        executor: Executor | None = None,
+        members_fn=None,
+    ) -> None:
+        super().__init__(node_id, keypair, ctx)
+        self.config = config
+        self.members_fn = members_fn if members_fn is not None else (lambda: ctx.members)
+        self.state = ConsensusChainState(
+            genesis=ctx.genesis,
+            members_fn=self.members_fn,
+            params=ctx.params,
+            rule_kind=config.rule_kind,
+            adaptive=config.adaptive,
+        )
+        self.validator = BlockValidator(
+            is_member=lambda addr: addr in self.members_fn(),
+            table_lookup=self._table_for,
+            t0=ctx.params.t0,
+            check_pow=config.real_pow,
+            verify_signatures=config.verify_signatures,
+        )
+        self.miner = RealMiner(ctx.params.t0) if config.real_pow else None
+        self.mempool = mempool if mempool is not None else Mempool()
+        self.executor = executor if executor is not None else Executor()
+        self.ledger = AccountState()
+        self.builder = BlockBuilder(keypair=keypair, mempool=self.mempool)
+        self.stats = MiningStats()
+        self._mining_handle: EventHandle | None = None
+        self._started = False
+        self._last_sync_request = -1e18
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the first mining timer."""
+        self._started = True
+        self._arm_miner()
+
+    def stop(self) -> None:
+        """Stop mining (the node still relays and validates)."""
+        self._started = False
+        if self._mining_handle is not None:
+            self._mining_handle.cancel()
+            self._mining_handle = None
+
+    # -- mining --------------------------------------------------------------------
+
+    def current_difficulty(self) -> float:
+        """This node's total difficulty for the next block on its head."""
+        multiple, base, _ = self.state.mining_assignment(self.address)
+        return multiple * base
+
+    def _arm_miner(self) -> None:
+        if not self._started:
+            return
+        if self._mining_handle is not None:
+            self._mining_handle.cancel()
+        difficulty = self.current_difficulty()
+        delay = self.ctx.oracle.sample_solve_time(self.config.hash_rate, difficulty)
+        self._mining_handle = self.ctx.sim.schedule(delay, self._produce_block)
+
+    def _produce_block(self) -> None:
+        """The puzzle is solved: build, adopt and broadcast the block (§III)."""
+        self._mining_handle = None
+        parent = self.state.head_block()
+        multiple, base, epoch = self.state.mining_assignment(self.address)
+        transactions = (
+            self.builder.select_transactions() if self.config.execute_ledger else []
+        )
+        header = self.builder.build_header(
+            parent=parent,
+            transactions=transactions,
+            timestamp=self.ctx.sim.now,
+            multiple=multiple,
+            base_difficulty=base,
+            epoch=epoch,
+        )
+        if self.miner is not None:
+            result = self.miner.mine(header)
+            if not result.solved:
+                self._arm_miner()
+                return
+            header = result.header
+        if self.config.sign_blocks:
+            block = sign_block(self.keypair, header, transactions)
+        else:
+            block = Block(header, None, tuple(transactions))
+        self.stats.blocks_produced += 1
+        self._trace(
+            "block/produced",
+            height=header.height,
+            block=block.block_id.hex()[:10],
+            difficulty=round(header.difficulty, 3),
+        )
+        self.state.add_block(block, self.ctx.sim.now)
+        self._after_head_update()
+        self._arm_miner()  # keep mining on top of the fresh head
+        tx_count = (
+            len(transactions) if self.config.execute_ledger else self.config.batch_size
+        )
+        self.ctx.network.gossip(
+            self.node_id,
+            Message(
+                kind="block",
+                payload=block,
+                body_size=self.block_wire_size(tx_count, self.config.compact_blocks),
+                origin=self.node_id,
+            ),
+        )
+
+    # -- reception ------------------------------------------------------------------
+
+    #: Minimum spacing between orphan-triggered sync requests (seconds).
+    SYNC_COOLDOWN = 5.0
+
+    def on_message(self, message: Message, from_peer: int) -> None:
+        if message.kind.startswith("sync/"):
+            self._handle_sync(message, from_peer)
+            return
+        if not self.ctx.network.gossip_deliver(self.node_id, from_peer, message):
+            return
+        if message.kind == "block":
+            self._handle_block(message.payload)
+            # A growing orphan buffer means we are missing a chain segment
+            # (we were offline, or a partition healed): pull it from the
+            # peer that is feeding us the unknown branch.
+            if (
+                self.state.tree.orphan_count > 0
+                and self.ctx.sim.now - self._last_sync_request > self.SYNC_COOLDOWN
+            ):
+                self._last_sync_request = self.ctx.sim.now
+                self.request_sync(from_peer)
+        elif message.kind == "tx":
+            self.mempool.add(message.payload)
+
+    # -- chain sync -------------------------------------------------------------------
+
+    #: Maximum blocks served per sync response.
+    SYNC_BATCH = 64
+
+    def _locator(self) -> list[bytes]:
+        """Bitcoin-style block locator: main-chain ids at the tip, then at
+        exponentially growing gaps back to genesis.
+
+        Lets a peer with a *diverged* history (offline node, healed
+        partition) find the highest common ancestor instead of assuming the
+        requester's chain is a prefix of the responder's.
+        """
+        chain = self.state.main_chain()
+        ids: list[bytes] = []
+        height = len(chain) - 1
+        step = 1
+        while height > 0:
+            ids.append(chain[height].block_id)
+            if len(ids) >= 8:
+                step *= 2
+            height -= step
+        ids.append(chain[0].block_id)  # genesis always matches
+        return ids
+
+    def request_sync(self, peer: int) -> None:
+        """Ask ``peer`` for main-chain blocks above our best common block.
+
+        A node that was offline (or that just joined the consortium through
+        the §IV-C governance flow) catches up by paging through a peer's
+        main chain; once a page comes back non-full it is at the tip and can
+        start mining.  Responses flow through the same validation as
+        gossiped blocks.
+        """
+        locator = self._locator()
+        request = Message(
+            kind="sync/request",
+            payload={"locator": locator},
+            body_size=16 + 32 * len(locator),
+            origin=self.node_id,
+        )
+        self.ctx.network.unicast(self.node_id, peer, request)
+
+    def _handle_sync(self, message: Message, from_peer: int) -> None:
+        if message.kind == "sync/request":
+            chain = self.state.main_chain()
+            positions = {block.block_id: i for i, block in enumerate(chain)}
+            from_height = 1  # worst case: only genesis is shared
+            for block_id in message.payload["locator"]:
+                index = positions.get(block_id)
+                if index is not None:
+                    from_height = index + 1
+                    break
+            blocks = chain[from_height : from_height + self.SYNC_BATCH]
+            body = sum(
+                self.block_wire_size(
+                    len(b.transactions) if self.config.execute_ledger else self.config.batch_size,
+                    self.config.compact_blocks,
+                )
+                for b in blocks
+            )
+            response = Message(
+                kind="sync/response",
+                payload={"blocks": blocks, "full": len(blocks) == self.SYNC_BATCH},
+                body_size=body + 16,
+                origin=self.node_id,
+            )
+            self.ctx.network.unicast(self.node_id, from_peer, response)
+        elif message.kind == "sync/response":
+            for block in message.payload["blocks"]:
+                if block.block_id in self.state.tree:
+                    continue
+                self._handle_block(block)
+            if message.payload["full"]:
+                self.request_sync(from_peer)  # next page
+            elif self._started:
+                self._arm_miner()
+
+    def _table_for(self, block: Block) -> DifficultyTable:
+        return self.state.table_for_block_height(block.parent_hash, block.height)
+
+    def _handle_block(self, block: Block) -> None:
+        have_parent = block.parent_hash in self.state.tree
+        if have_parent:
+            try:
+                self.validator.validate(block)
+            except InvalidBlockError as exc:
+                self.stats.blocks_rejected += 1
+                self._trace(
+                    "block/rejected", block=block.block_id.hex()[:10], reason=str(exc)
+                )
+                return
+        # Without the parent the difficulty table is unknowable; the tree
+        # buffers the block and it is validated structurally only.  Orphans
+        # are rare (gossip mostly preserves causality) and a bad orphan can
+        # never become head without a valid ancestry.
+        outcome = self.state.add_block(block, self.ctx.sim.now)
+        self.stats.blocks_accepted += 1
+        if outcome == "reorg":
+            self.stats.reorgs += 1
+            self._trace(
+                "chain/reorg",
+                height=block.height,
+                new_head=self.state.head_id.hex()[:10],
+            )
+        if outcome in ("extended", "reorg"):
+            self._on_main_chain_advance(block, outcome)
+            self._arm_miner()
+
+    def _on_main_chain_advance(self, block: Block, outcome: str) -> None:
+        if not self.config.execute_ledger:
+            return
+        if outcome == "extended":
+            self.mempool.remove(tx.tx_id for tx in block.transactions)
+        else:
+            # After a reorg, rebuild the committed set conservatively: remove
+            # everything on the new main chain, re-admit nothing (the old
+            # branch's transactions were never dropped from the pool).
+            for chain_block in self.state.main_chain():
+                self.mempool.remove(tx.tx_id for tx in chain_block.transactions)
+
+    def _after_head_update(self) -> None:
+        if self.config.execute_ledger:
+            head = self.state.head_block()
+            self.mempool.remove(tx.tx_id for tx in head.transactions)
+
+    # -- views -----------------------------------------------------------------------
+
+    @property
+    def tree(self) -> BlockTree:
+        """The node's local block tree."""
+        return self.state.tree
+
+    def main_chain(self) -> list[Block]:
+        """The node's current main chain."""
+        return self.state.main_chain()

@@ -1,0 +1,161 @@
+"""Node election phase: candidate construction and block validation (§III).
+
+Production side — :class:`BlockBuilder` assembles a candidate block for the
+current round: transactions are drawn from the mempool "upon preferences",
+the header is initialized with the node's current difficulty parameters, and
+the solved header is signed.
+
+Reception side — :class:`BlockValidator` runs the paper's three checks in
+order: (1) "whether the block header signature belongs to the node in the
+consensus node set"; (2) "whether the difficulty and the hash value of the
+block header are correct according to the latest difficulty table in its
+local storage"; (3) transaction validity, which is delegated to the ledger
+executor by the caller because it needs chain state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.chain.block import BLOCK_VERSION, Block, BlockHeader, sign_block
+from repro.chain.transaction import Transaction
+from repro.core.difficulty import DifficultyTable
+from repro.crypto.hashing import meets_target, target_for_difficulty
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import merkle_root_of_payloads
+from repro.errors import InvalidBlockError
+from repro.ledger.mempool import Mempool, PreferenceFn
+
+#: Relative tolerance when comparing declared vs. recomputed difficulty
+#: (both sides derive from the same float pipeline, so this is generous).
+DIFFICULTY_RTOL = 1e-6
+
+
+@dataclass
+class BlockBuilder:
+    """Builds and signs candidate blocks for one node.
+
+    Attributes:
+        keypair: the node's signing identity.
+        mempool: transaction source.
+        max_block_txs: cap on transactions per block.
+        max_block_bytes: cap on serialized body bytes per block.
+        preference: optional mempool ordering preference (§III).
+    """
+
+    keypair: KeyPair
+    mempool: Mempool
+    max_block_txs: int = 128
+    max_block_bytes: int | None = None
+    preference: PreferenceFn | None = None
+
+    def build_header(
+        self,
+        parent: Block,
+        transactions: Sequence[Transaction],
+        timestamp: float,
+        multiple: float,
+        base_difficulty: float,
+        epoch: int,
+    ) -> BlockHeader:
+        """Initialize the candidate header for puzzle solving."""
+        return BlockHeader(
+            version=BLOCK_VERSION,
+            height=parent.height + 1,
+            parent_hash=parent.block_id,
+            merkle_root=merkle_root_of_payloads(tx.to_bytes() for tx in transactions),
+            timestamp=timestamp,
+            producer=self.keypair.public.fingerprint(),
+            difficulty_multiple=multiple,
+            base_difficulty=base_difficulty,
+            epoch=epoch,
+            nonce=0,
+        )
+
+    def select_transactions(self) -> list[Transaction]:
+        """Draw the round's transactions from the pool (§III preferences)."""
+        return self.mempool.select(
+            max_count=self.max_block_txs,
+            max_bytes=self.max_block_bytes,
+            preference=self.preference,
+        )
+
+    def build_candidate(
+        self,
+        parent: Block,
+        timestamp: float,
+        multiple: float,
+        base_difficulty: float,
+        epoch: int,
+    ) -> tuple[BlockHeader, list[Transaction]]:
+        """Assemble the unsolved candidate (header + body)."""
+        txs = self.select_transactions()
+        header = self.build_header(
+            parent, txs, timestamp, multiple, base_difficulty, epoch
+        )
+        return header, txs
+
+    def finalize(self, header: BlockHeader, transactions: Sequence[Transaction]) -> Block:
+        """Sign a solved header and bundle the block for broadcast (§III)."""
+        return sign_block(self.keypair, header, transactions)
+
+
+@dataclass
+class BlockValidator:
+    """Validates received blocks against local consensus state (§III).
+
+    Attributes:
+        is_member: membership predicate over producer fingerprints.
+        table_lookup: resolves the difficulty table governing a block —
+            normally :meth:`ConsensusChainState.table_for_block_height` bound
+            to the block's own ancestor path, so forked epoch boundaries
+            validate consistently.
+        t0: deployment base target.
+        check_pow: verify the header hash against the target.  ``True`` in
+            real-mining deployments; oracle-driven simulations disable it
+            (solve times are sampled, nonces are not ground — see DESIGN.md).
+        verify_signatures: verify the producer's header signature.  Kept on
+            in correctness tests; large sweeps disable it for speed.
+    """
+
+    is_member: Callable[[bytes], bool]
+    table_lookup: Callable[[Block], DifficultyTable]
+    t0: int
+    check_pow: bool = True
+    verify_signatures: bool = True
+
+    def validate(self, block: Block) -> None:
+        """Run checks 1 and 2 of §III; raises :class:`InvalidBlockError`."""
+        header = block.header
+        # Check 1 — producer identity.
+        if not self.is_member(header.producer):
+            raise InvalidBlockError(
+                f"producer {header.producer.hex()[:8]} is not a consensus member"
+            )
+        if self.verify_signatures and not block.verify_signature():
+            raise InvalidBlockError("block header signature is invalid")
+        # Check 2 — declared difficulty must match the local table.
+        table = self.table_lookup(block)
+        expected_multiple = table.multiple(header.producer)
+        if not _close(header.difficulty_multiple, expected_multiple):
+            raise InvalidBlockError(
+                f"declared multiple {header.difficulty_multiple:.6f} != "
+                f"table multiple {expected_multiple:.6f} (epoch {header.epoch})"
+            )
+        if not _close(header.base_difficulty, table.base):
+            raise InvalidBlockError(
+                f"declared base {header.base_difficulty:.6f} != "
+                f"table base {table.base:.6f} (epoch {header.epoch})"
+            )
+        if self.check_pow:
+            target = target_for_difficulty(self.t0, header.difficulty)
+            if not meets_target(header.hash(), target):
+                raise InvalidBlockError("header hash does not meet the target")
+        # Body commitment (cheap, always on).
+        if not block.verify_merkle_root():
+            raise InvalidBlockError("merkle root does not commit to body")
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= DIFFICULTY_RTOL * max(abs(a), abs(b), 1.0)

@@ -1,0 +1,96 @@
+"""Consensus node-set maintenance (§IV-C), engine side.
+
+The on-chain half of membership lives in
+:class:`~repro.ledger.contract.NodeSetContract`; this module is the consensus
+engine's view of it: the member list used to validate producers, compute
+``F0 = 1/n`` and size epochs, plus the round-boundary hook where passed
+proposals take effect and the difficulty rescaling they imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.errors import MembershipError
+from repro.ledger.contract import NodeSetContract, Proposal, ProposalKind
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """A membership mutation applied at a round boundary."""
+
+    kind: ProposalKind
+    member: bytes
+    proposal_id: int
+
+
+class NodeSetManager:
+    """Tracks the consensus node set across rounds.
+
+    Wraps a :class:`NodeSetContract` (replicated deterministic state) and
+    applies passed proposals only at round boundaries, per §IV-C: "the
+    proposal will take effect at the beginning of the next consensus round."
+    """
+
+    def __init__(self, contract: NodeSetContract) -> None:
+        self._contract = contract
+        self._members = list(contract.members)
+
+    @classmethod
+    def from_members(cls, members: list[bytes]) -> "NodeSetManager":
+        """Bootstrap a manager with a fresh contract."""
+        return cls(NodeSetContract(members))
+
+    @classmethod
+    def from_public_keys(cls, keys: list[PublicKey]) -> "NodeSetManager":
+        """Bootstrap from node public keys (fingerprint addressing)."""
+        return cls.from_members([k.fingerprint() for k in keys])
+
+    @property
+    def contract(self) -> NodeSetContract:
+        """The underlying governance contract (register it with the executor)."""
+        return self._contract
+
+    @property
+    def members(self) -> list[bytes]:
+        """The member set effective for the *current* round."""
+        return list(self._members)
+
+    @property
+    def n(self) -> int:
+        """Consensus node count ``n`` of the current round."""
+        return len(self._members)
+
+    def is_member(self, address: bytes) -> bool:
+        """Whether an address may produce blocks this round (§III check 1)."""
+        return address in self._members
+
+    def expected_frequency(self) -> float:
+        """``F0 = 1/n`` (§IV-A footnote 7)."""
+        if not self._members:
+            raise MembershipError("member set is empty")
+        return 1.0 / len(self._members)
+
+    def begin_round(self) -> list[MembershipChange]:
+        """Apply passed proposals at the round boundary (§IV-C).
+
+        Returns the applied changes; callers rescale ``D_base`` by
+        ``n_new / n_old`` when the list is non-empty (handled by
+        :func:`repro.core.difficulty.next_base_difficulty` at the next epoch,
+        or immediately via :meth:`rescale_ratio`).
+        """
+        applied: list[Proposal] = self._contract.drain_effective()
+        changes = [
+            MembershipChange(kind=p.kind, member=p.target, proposal_id=p.proposal_id)
+            for p in applied
+        ]
+        if changes:
+            self._members = list(self._contract.members)
+        return changes
+
+    def rescale_ratio(self, previous_n: int) -> float:
+        """``n^{e+1}/n^e`` factor for D_base after a membership change."""
+        if previous_n < 1:
+            raise MembershipError("previous n must be positive")
+        return len(self._members) / previous_n

@@ -1,0 +1,340 @@
+"""The Themis consensus state machine.
+
+:class:`ConsensusChainState` is the per-node, network-free core of Themis: a
+block tree, a main-chain rule (GEOST, or GHOST for *Themis-Lite*), and the
+self-adaptive difficulty pipeline of §IV.  Node/network glue lives in
+:mod:`repro.consensus`; this class is deliberately pure so unit and property
+tests can drive it block by block.
+
+Difficulty tables are *anchored to the chain itself*: the table governing
+epoch *e* is a function of the blocks in epoch *e-1* **along the ancestor
+path of the block being considered**, not of whatever the local main chain
+happens to be.  Two consequences, both required by the paper:
+
+* every node derives identical tables from identical chain data — "each node
+  can verify the validity of blocks without extra communication among nodes"
+  (§IV-A);
+* forks that straddle an epoch boundary stay well-defined: a block's declared
+  difficulty is checked against its own prefix, and tables are cached per
+  boundary (anchor) block.
+
+Setting ``adaptive=False`` freezes all multiples at 1, which turns the same
+machinery into the *PoW-H* baseline (global difficulty only, still
+interval-controlled); the fork rule is independently pluggable, giving the
+paper's four-way comparison matrix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Literal, Sequence
+
+from repro.chain.block import Block
+from repro.chain.blocktree import BlockTree
+from repro.chain.forkchoice import ForkChoiceRule, GHOSTRule, LongestChainRule
+from repro.core.difficulty import (
+    DifficultyParams,
+    DifficultyTable,
+    advance_table,
+)
+from repro.core.geost import GEOSTRule
+from repro.errors import ChainError, SimulationError
+
+#: Outcome of feeding one block to the state machine.
+HeadUpdate = Literal["extended", "reorg", "unchanged", "orphaned"]
+
+RuleKind = Literal["geost", "ghost", "longest"]
+
+
+def make_rule(kind: RuleKind, members_fn: Callable[[], Sequence[bytes]]) -> ForkChoiceRule:
+    """Instantiate a fork-choice rule by name."""
+    if kind == "geost":
+        return GEOSTRule(members_fn)
+    if kind == "ghost":
+        return GHOSTRule()
+    if kind == "longest":
+        return LongestChainRule()
+    raise SimulationError(f"unknown rule kind {kind!r}")
+
+
+class ConsensusChainState:
+    """Block tree + fork choice + difficulty tables for one node.
+
+    Args:
+        genesis: the shared genesis block.
+        members_fn: returns the current consensus node set (fingerprints).
+        params: deployment difficulty constants; ``Δ = β·n`` is fixed from
+            the initial member count (the evaluation keeps ``n`` static
+            within a run; membership changes rescale ``D_base`` at the next
+            epoch rather than resizing ``Δ``).
+        rule_kind: ``"geost"`` (Themis), ``"ghost"`` (Themis-Lite / PoW-H) or
+            ``"longest"``.
+        adaptive: when ``False`` all multiples stay 1 (the PoW-H baseline).
+    """
+
+    def __init__(
+        self,
+        genesis: Block,
+        members_fn: Callable[[], Sequence[bytes]],
+        params: DifficultyParams,
+        rule_kind: RuleKind = "geost",
+        adaptive: bool = True,
+        finality_window: int | None = 64,
+    ) -> None:
+        self.genesis = genesis
+        self.members_fn = members_fn
+        self.params = params
+        self.adaptive = adaptive
+        self.rule = make_rule(rule_kind, members_fn)
+        self.tree = BlockTree(genesis, finality_window=finality_window)
+        self.head_id: bytes = genesis.block_id
+        self.epoch_blocks = params.epoch_length(len(members_fn()))
+        self.finality_window = finality_window
+        self._tables: dict[bytes, DifficultyTable] = {}
+        self._anchor_memo: dict[bytes, bytes] = {}
+        # Finalized block: every candidate head descends from it; rule walks
+        # restart here instead of genesis (see BlockTree.finality_window).
+        self._final_id: bytes = genesis.block_id
+        self._final_prefix: Counter = Counter()
+
+    # -- epochs and tables -------------------------------------------------------
+
+    def epoch_of_height(self, height: int) -> int:
+        """Epoch index of a block height; heights 1..Δ are epoch 0."""
+        if height < 1:
+            raise ChainError("only heights >= 1 belong to an epoch")
+        return (height - 1) // self.epoch_blocks
+
+    def _ancestor_at_height(self, block_id: bytes, height: int) -> bytes:
+        """Walk parents until the requested height."""
+        cursor = block_id
+        while True:
+            block = self.tree.get(cursor)
+            if block.height == height:
+                return cursor
+            if block.height < height:
+                raise ChainError(
+                    f"no ancestor of height {height} above {block.height}"
+                )
+            parent = self.tree.parent(cursor)
+            if parent is None:
+                raise ChainError("walked past genesis")
+            cursor = parent
+
+    def table_for_anchor(self, anchor_id: bytes) -> DifficultyTable:
+        """Difficulty table for the epoch *starting after* ``anchor_id``.
+
+        The anchor is the last block of the previous epoch (genesis anchors
+        epoch 0).  Derived recursively from the anchor's own prefix and
+        memoized per anchor block, so forked boundaries each get their own
+        consistent table.
+        """
+        cached = self._tables.get(anchor_id)
+        if cached is not None:
+            return cached
+        anchor = self.tree.get(anchor_id)
+        members = list(self.members_fn())
+        if anchor.height == 0:
+            table = DifficultyTable.initial(members, self.params)
+        else:
+            if anchor.height % self.epoch_blocks != 0:
+                raise ChainError(
+                    f"anchor height {anchor.height} is not an epoch boundary"
+                )
+            epoch_index = anchor.height // self.epoch_blocks  # table being built
+            prev_anchor_id = self._ancestor_at_height(
+                anchor_id, anchor.height - self.epoch_blocks
+            )
+            prev_table = self.table_for_anchor(prev_anchor_id)
+            counts, first_ts, last_ts = self._epoch_observations(
+                anchor_id, prev_anchor_id
+            )
+            observed_interval = max(
+                (last_ts - first_ts) / self.epoch_blocks, 1e-9
+            )
+            if self.adaptive:
+                table = advance_table(
+                    prev_table,
+                    counts,
+                    members,
+                    self.epoch_blocks,
+                    observed_interval,
+                    self.params,
+                )
+            else:
+                # PoW-H: interval control only, all multiples pinned at 1.
+                table = advance_table(
+                    prev_table,
+                    {},  # zero counts would floor multiples at 1 anyway
+                    members,
+                    self.epoch_blocks,
+                    observed_interval,
+                    self.params,
+                )
+            table = DifficultyTable(
+                epoch=epoch_index, base=table.base, multiples=table.multiples
+            )
+        self._tables[anchor_id] = table
+        return table
+
+    def _epoch_observations(
+        self, anchor_id: bytes, prev_anchor_id: bytes
+    ) -> tuple[Counter, float, float]:
+        """Producer counts ``q_i^e`` and timestamps over one epoch segment.
+
+        Counts blocks on the path ``(prev_anchor, anchor]`` — exactly the
+        main-chain blocks of the elapsed epoch as seen by this prefix
+        (footnote 6).
+        """
+        counts: Counter = Counter()
+        cursor = anchor_id
+        last_ts = self.tree.get(anchor_id).header.timestamp
+        while cursor != prev_anchor_id:
+            block = self.tree.get(cursor)
+            counts[block.producer] += 1
+            parent = self.tree.parent(cursor)
+            if parent is None:
+                raise ChainError("epoch walk passed genesis")
+            cursor = parent
+        first_ts = self.tree.get(prev_anchor_id).header.timestamp
+        return counts, first_ts, last_ts
+
+    def _child_anchor(self, tip_id: bytes) -> bytes:
+        """Anchor governing a block whose parent is ``tip_id`` (memoized).
+
+        A child of ``tip`` (height ``h = tip.height + 1``) lies in epoch
+        ``(h-1)//Δ = tip.height//Δ``, whose anchor sits at height
+        ``(tip.height//Δ)·Δ`` — ``tip`` itself on a boundary, otherwise the
+        same anchor as ``tip``'s own epoch.  Memoizing per block makes the
+        lookup O(1) amortized on the mining/validation hot path.
+        """
+        chain: list[bytes] = []
+        cursor = tip_id
+        while True:
+            cached = self._anchor_memo.get(cursor)
+            if cached is not None:
+                anchor = cached
+                break
+            block = self.tree.get(cursor)
+            if block.height % self.epoch_blocks == 0:
+                anchor = cursor
+                break
+            chain.append(cursor)
+            parent = self.tree.parent(cursor)
+            if parent is None:
+                raise ChainError("walked past genesis looking for an anchor")
+            cursor = parent
+        for block_id in chain:
+            self._anchor_memo[block_id] = anchor
+        self._anchor_memo[tip_id] = anchor
+        return anchor
+
+    def anchor_for_height(self, tip_id: bytes, height: int) -> bytes:
+        """Anchor block id governing the epoch that contains ``height``.
+
+        Walks the ancestor path of ``tip_id`` — pass the parent of the block
+        being validated, or the current head when building a new block.
+        """
+        tip_height = self.tree.get(tip_id).height
+        if height == tip_height + 1:
+            return self._child_anchor(tip_id)
+        epoch = self.epoch_of_height(height)
+        return self._ancestor_at_height(tip_id, epoch * self.epoch_blocks)
+
+    def table_for_block_height(self, tip_id: bytes, height: int) -> DifficultyTable:
+        """Difficulty table governing a prospective block at ``height``."""
+        return self.table_for_anchor(self.anchor_for_height(tip_id, height))
+
+    def mining_assignment(self, producer: bytes) -> tuple[float, float, int]:
+        """(multiple, base, epoch) for the next block on the current head."""
+        next_height = self.tree.get(self.head_id).height + 1
+        table = self.table_for_block_height(self.head_id, next_height)
+        return table.multiple(producer), table.base, self.epoch_of_height(next_height)
+
+    # -- block intake -----------------------------------------------------------------
+
+    def add_block(self, block: Block, arrival_time: float) -> HeadUpdate:
+        """Insert a validated block and update the head.
+
+        Fast path: a block extending the current head always becomes the new
+        head under all three rules (it grows the winning subtree).  Any other
+        attachment triggers a full rule walk, which may reorganize.
+        """
+        before = len(self.tree)
+        attached = self.tree.add_block(block, arrival_time)
+        if not attached:
+            return "orphaned"
+        attached_count = len(self.tree) - before
+        if block.parent_hash == self.head_id and attached_count == 1:
+            # Fast path: a lone extension of the head wins under every rule.
+            # When buffered orphans attached alongside, fall through to the
+            # full walk — the head may now be one of the orphan descendants.
+            self.head_id = block.block_id
+            self._advance_finality()
+            return "extended"
+        old_head = self.head_id
+        if isinstance(self.rule, GEOSTRule):
+            self.head_id = self.rule.head(
+                self.tree, start=self._final_id, prefix=self._final_prefix
+            )
+        else:
+            self.head_id = self.rule.head(self.tree, start=self._final_id)
+        if self.head_id == old_head:
+            return "unchanged"
+        self._advance_finality()
+        if self.tree.is_ancestor(old_head, self.head_id):
+            return "extended"  # multi-block advance (orphans attached)
+        return "reorg"
+
+    def _advance_finality(self) -> None:
+        """Move the finalized block forward along the main chain.
+
+        Keeps the finalized block ``finality_window`` heights behind the
+        head, folding the producers of newly finalized blocks into the cached
+        prefix histogram GEOST resumes from.
+        """
+        if self.finality_window is None:
+            return
+        head_height = self.tree.get(self.head_id).height
+        final_height = self.tree.get(self._final_id).height
+        target = head_height - self.finality_window
+        if target <= final_height:
+            return
+        # Collect the path head -> current final, then advance along it.
+        path: list[bytes] = []
+        cursor: bytes | None = self.head_id
+        while cursor is not None and cursor != self._final_id:
+            path.append(cursor)
+            cursor = self.tree.parent(cursor)
+        if cursor is None:
+            raise ChainError("head does not descend from the finalized block")
+        path.reverse()
+        for block_id in path:
+            block = self.tree.get(block_id)
+            if block.height > target:
+                break
+            self._final_id = block_id
+            self._final_prefix[block.producer] += 1
+
+    # -- views --------------------------------------------------------------------------
+
+    def head_block(self) -> Block:
+        """The current main-chain tip."""
+        return self.tree.get(self.head_id)
+
+    def main_chain(self) -> list[Block]:
+        """Genesis through head, inclusive."""
+        return self.tree.chain_to(self.head_id)
+
+    def height(self) -> int:
+        """Current main-chain height."""
+        return self.tree.get(self.head_id).height
+
+    def producer_counts(self, from_height: int = 1, to_height: int | None = None) -> Counter:
+        """Main-chain producer histogram over a height window (Eq. 1 input)."""
+        chain = self.main_chain()
+        to_height = to_height if to_height is not None else len(chain) - 1
+        counts: Counter = Counter()
+        for block in chain[from_height : to_height + 1]:
+            counts[block.producer] += 1
+        return counts

@@ -1,0 +1,247 @@
+"""Pure-Python elliptic-curve keys over secp256k1.
+
+Themis requires each consensus node to sign the block header it produces with
+its private key (§III, §VI-C).  The paper's consortium setting assumes an
+identity-authenticated node set, so keys double as node identities.
+
+No third-party crypto dependency is available offline, so this module
+implements the secp256k1 group operations from scratch: Jacobian-coordinate
+point addition/doubling, scalar multiplication with a simple double-and-add
+ladder, and (de)serialization of points in compressed SEC1 form.  The code is
+deliberately straightforward rather than constant-time — it is a reproduction
+substrate, not a hardened wallet — but it is mathematically the real curve, so
+signature sizes and verification semantics match a production deployment
+(§VI-C budgets "about 128 bytes" per block for the signature envelope).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+# --- secp256k1 domain parameters -------------------------------------------
+
+#: Prime field modulus.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+#: Group order.
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+#: Curve coefficient: y^2 = x^3 + 7 over F_P.
+B = 7
+#: Generator point.
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+_Point = tuple[int, int] | None  # affine point; None is the point at infinity
+
+
+def _inv(a: int, m: int) -> int:
+    """Modular inverse via Python's built-in extended-gcd pow."""
+    return pow(a, -1, m)
+
+
+def _point_add(p1: _Point, p2: _Point) -> _Point:
+    """Add two affine points on secp256k1."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and (y1 + y2) % P == 0:
+        return None
+    if p1 == p2:
+        lam = (3 * x1 * x1) * _inv(2 * y1, P) % P
+    else:
+        lam = (y2 - y1) * _inv(x2 - x1, P) % P
+    x3 = (lam * lam - x1 - x2) % P
+    y3 = (lam * (x1 - x3) - y1) % P
+    return (x3, y3)
+
+
+def _point_mul(k: int, point: _Point) -> _Point:
+    """Scalar multiplication ``k * point`` by double-and-add."""
+    if k % N == 0 or point is None:
+        return None
+    if k < 0:
+        x, y = point  # type: ignore[misc]
+        return _point_mul(-k, (x, (-y) % P))
+    result: _Point = None
+    addend = point
+    while k:
+        if k & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+def _on_curve(point: _Point) -> bool:
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - B) % P == 0
+
+
+# --- key types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A secp256k1 public key (affine point)."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not _on_curve((self.x, self.y)):
+            raise CryptoError("public key point is not on secp256k1")
+
+    def to_bytes(self) -> bytes:
+        """Serialize in compressed SEC1 form (33 bytes)."""
+        prefix = b"\x03" if self.y & 1 else b"\x02"
+        return prefix + self.x.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        """Deserialize a compressed SEC1 public key."""
+        if len(data) != 33 or data[0] not in (2, 3):
+            raise CryptoError(f"bad compressed public key ({len(data)} bytes)")
+        x = int.from_bytes(data[1:], "big")
+        if x >= P:
+            raise CryptoError("public key x-coordinate out of range")
+        y_sq = (pow(x, 3, P) + B) % P
+        y = pow(y_sq, (P + 1) // 4, P)
+        if pow(y, 2, P) != y_sq:
+            raise CryptoError("public key x-coordinate not on curve")
+        if (y & 1) != (data[0] & 1):
+            y = P - y
+        return cls(x, y)
+
+    def fingerprint(self) -> bytes:
+        """A 20-byte identity fingerprint (hash160-style) for node addresses."""
+        return hashlib.sha256(self.to_bytes()).digest()[:20]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A secp256k1 private key (scalar in [1, N))."""
+
+    secret: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.secret < N:
+            raise CryptoError("private key scalar out of range")
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str | int) -> "PrivateKey":
+        """Derive a deterministic private key from an arbitrary seed.
+
+        Deterministic derivation keeps simulations reproducible: node ``i`` in
+        a run always holds the same key for the same seed.
+        """
+        if isinstance(seed, int):
+            seed = seed.to_bytes(32, "big", signed=False)
+        elif isinstance(seed, str):
+            seed = seed.encode()
+        counter = 0
+        while True:
+            digest = hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+            scalar = int.from_bytes(digest, "big")
+            if 1 <= scalar < N:
+                return cls(scalar)
+            counter += 1
+
+    def public_key(self) -> PublicKey:
+        """Derive the corresponding public key."""
+        point = _point_mul(self.secret, (GX, GY))
+        assert point is not None  # secret is in [1, N)
+        return PublicKey(point[0], point[1])
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a 32-byte big-endian scalar."""
+        return self.secret.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PrivateKey":
+        if len(data) != 32:
+            raise CryptoError(f"private key must be 32 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Convenience bundle of a private key and its public key."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str | int) -> "KeyPair":
+        private = PrivateKey.from_seed(seed)
+        return cls(private, private.public_key())
+
+
+def _rfc6979_nonce(secret: int, msg_hash: bytes) -> int:
+    """Deterministic ECDSA nonce per RFC 6979 (HMAC-SHA256 construction).
+
+    Deterministic nonces remove the RNG from signing, which keeps simulated
+    nodes reproducible and eliminates nonce-reuse key leakage.
+    """
+    holen = 32
+    x = secret.to_bytes(32, "big")
+    h1 = msg_hash
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + x + h1, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x + h1, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def ecdsa_sign(private: PrivateKey, msg_hash: bytes) -> tuple[int, int]:
+    """Produce an ECDSA signature ``(r, s)`` over a 32-byte message hash."""
+    if len(msg_hash) != 32:
+        raise CryptoError("message hash must be 32 bytes")
+    z = int.from_bytes(msg_hash, "big")
+    nonce = _rfc6979_nonce(private.secret, msg_hash)
+    while True:
+        point = _point_mul(nonce, (GX, GY))
+        assert point is not None
+        r = point[0] % N
+        if r == 0:
+            nonce = (nonce + 1) % N or 1
+            continue
+        s = _inv(nonce, N) * (z + r * private.secret) % N
+        if s == 0:
+            nonce = (nonce + 1) % N or 1
+            continue
+        if s > N // 2:  # low-s normalization, as in Bitcoin
+            s = N - s
+        return r, s
+
+
+def ecdsa_verify(public: PublicKey, msg_hash: bytes, signature: tuple[int, int]) -> bool:
+    """Verify an ECDSA signature ``(r, s)`` over a 32-byte message hash."""
+    if len(msg_hash) != 32:
+        raise CryptoError("message hash must be 32 bytes")
+    r, s = signature
+    if not (1 <= r < N and 1 <= s < N):
+        return False
+    z = int.from_bytes(msg_hash, "big")
+    w = _inv(s, N)
+    u1 = z * w % N
+    u2 = r * w % N
+    point = _point_add(_point_mul(u1, (GX, GY)), _point_mul(u2, (public.x, public.y)))
+    if point is None:
+        return False
+    return point[0] % N == r

@@ -1,0 +1,87 @@
+"""Transaction and block execution against ledger state.
+
+§III: after signature and difficulty checks, a receiving node "finally checks
+the validity of the transactions in the block.  Valid blocks will be added to
+the local block tree and invalid ones will be discarded."  The executor is
+that final stage: it applies a block's transactions to a copy of the parent
+state and reports success or the precise failure.
+
+Contract calls (recipient = registered contract address) run inline after the
+value transfer; a :class:`~repro.errors.ContractError` invalidates the
+transaction the same way an overdraft does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.errors import ContractError, InvalidTransactionError, LedgerError
+from repro.ledger.contract import Contract
+from repro.ledger.state import AccountState
+
+
+@dataclass
+class ExecutionReceipt:
+    """Outcome of executing one transaction."""
+
+    tx_id: bytes
+    ok: bool
+    error: str | None = None
+
+
+@dataclass
+class Executor:
+    """Applies transactions to state, routing contract calls.
+
+    Attributes:
+        contracts: registered contracts by address.
+        verify_signatures: when ``True`` every transaction's ECDSA signature
+            is checked.  Large-scale simulations disable this (the workload
+            generator produces structurally valid signed templates) because
+            pure-Python ECDSA dominates runtime otherwise; correctness tests
+            keep it on.
+    """
+
+    contracts: dict[bytes, Contract] = field(default_factory=dict)
+    verify_signatures: bool = True
+
+    def register(self, contract: Contract) -> None:
+        """Register a contract at its well-known address."""
+        self.contracts[contract.address] = contract
+
+    def execute_transaction(self, state: AccountState, tx: Transaction) -> ExecutionReceipt:
+        """Validate and apply one transaction; state mutates only on success."""
+        try:
+            self._check_stateless(tx)
+            state.transfer(tx.sender, tx.recipient, tx.amount, tx.nonce)
+            contract = self.contracts.get(tx.recipient)
+            if contract is not None and tx.payload:
+                try:
+                    contract.call(tx.sender, tx.payload)
+                except ContractError:
+                    # Roll the transfer back; nonce advances regardless, as a
+                    # failed contract call still consumes the sender's slot.
+                    state.get(tx.sender).balance += tx.amount
+                    state.get(tx.recipient).balance -= tx.amount
+                    raise
+        except (LedgerError, InvalidTransactionError, ContractError) as exc:
+            return ExecutionReceipt(tx.tx_id, ok=False, error=str(exc))
+        return ExecutionReceipt(tx.tx_id, ok=True)
+
+    def _check_stateless(self, tx: Transaction) -> None:
+        if self.verify_signatures and not tx.verify_signature():
+            raise InvalidTransactionError("bad or missing transaction signature")
+
+    def execute_block(
+        self, state: AccountState, block: Block
+    ) -> tuple[bool, list[ExecutionReceipt]]:
+        """Execute a whole block against ``state``.
+
+        Returns ``(all_ok, receipts)``.  Callers that enforce the paper's
+        "invalid [blocks] will be discarded" rule should execute against a
+        copy of the parent state and drop the block when ``all_ok`` is false.
+        """
+        receipts = [self.execute_transaction(state, tx) for tx in block.transactions]
+        return all(r.ok for r in receipts), receipts

@@ -1,0 +1,107 @@
+"""Account-based ledger state.
+
+The ledger tracks balances and per-sender nonces.  Nonces provide replay /
+double-spend protection: a transaction is valid only if its nonce equals the
+sender's current account nonce, so two conflicting spends of the same funds
+cannot both execute (§IV-C cites "double-spending attacks" as removable
+offences — the executor is what detects them).
+
+State objects are cheap to copy (:meth:`AccountState.copy`) because the main
+chain can reorganize under fork choice; nodes re-derive state along the new
+chain.  A deterministic state root commits to the full state for cross-node
+consistency checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.codec import Writer
+from repro.crypto.hashing import sha256d
+from repro.errors import LedgerError
+
+
+@dataclass
+class Account:
+    """A single account: spendable balance and next expected nonce."""
+
+    balance: int = 0
+    nonce: int = 0
+
+
+@dataclass
+class AccountState:
+    """Mutable mapping of 20-byte addresses to accounts."""
+
+    accounts: dict[bytes, Account] = field(default_factory=dict)
+
+    def get(self, address: bytes) -> Account:
+        """Return the account at ``address``, creating it empty on first use."""
+        account = self.accounts.get(address)
+        if account is None:
+            account = Account()
+            self.accounts[address] = account
+        return account
+
+    def balance(self, address: bytes) -> int:
+        """Spendable balance (0 for unknown addresses)."""
+        account = self.accounts.get(address)
+        return account.balance if account else 0
+
+    def nonce(self, address: bytes) -> int:
+        """Next expected nonce (0 for unknown addresses)."""
+        account = self.accounts.get(address)
+        return account.nonce if account else 0
+
+    def credit(self, address: bytes, amount: int) -> None:
+        """Add funds to an account (used for genesis allocations)."""
+        if amount < 0:
+            raise LedgerError(f"credit amount must be non-negative, got {amount}")
+        self.get(address).balance += amount
+
+    def transfer(self, sender: bytes, recipient: bytes, amount: int, nonce: int) -> None:
+        """Apply a transfer, enforcing balance and nonce rules.
+
+        Raises :class:`LedgerError` on overdraft or nonce mismatch (the stale
+        nonce of a double-spend attempt surfaces here).
+        """
+        src = self.get(sender)
+        if nonce != src.nonce:
+            raise LedgerError(
+                f"bad nonce for {sender.hex()[:8]}: expected {src.nonce}, got {nonce}"
+            )
+        if src.balance < amount:
+            raise LedgerError(
+                f"overdraft: {sender.hex()[:8]} has {src.balance}, needs {amount}"
+            )
+        src.balance -= amount
+        src.nonce += 1
+        self.get(recipient).balance += amount
+
+    def copy(self) -> "AccountState":
+        """Deep copy, for speculative execution along fork candidates."""
+        return AccountState(
+            accounts={
+                addr: Account(acct.balance, acct.nonce)
+                for addr, acct in self.accounts.items()
+            }
+        )
+
+    def state_root(self) -> bytes:
+        """Deterministic 32-byte commitment to the full state.
+
+        Accounts are serialized in address order; two nodes that executed the
+        same chain obtain the same root.
+        """
+        writer = Writer()
+        for address in sorted(self.accounts):
+            account = self.accounts[address]
+            if account.balance == 0 and account.nonce == 0:
+                continue  # empty accounts don't affect the commitment
+            writer.write_bytes_raw(address)
+            writer.write_varint(account.balance)
+            writer.write_varint(account.nonce)
+        return sha256d(writer.getvalue())
+
+    def __len__(self) -> int:
+        return len(self.accounts)

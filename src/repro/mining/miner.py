@@ -1,0 +1,73 @@
+"""The real SHA-256 miner.
+
+Grinds nonces over a block header until the header hash falls below the
+node's target ``t_i^e = T0 / D_i^e`` (§IV-B).  Used by the quickstart example,
+correctness tests and the oracle cross-validation; the large-scale benchmarks
+use :class:`~repro.mining.oracle.MiningOracle` instead (see DESIGN.md's
+substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import BlockHeader
+from repro.crypto.hashing import meets_target, target_for_difficulty
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Outcome of a mining attempt."""
+
+    header: BlockHeader
+    attempts: int
+    solved: bool
+
+
+class RealMiner:
+    """Sequential nonce-grinding miner.
+
+    Attributes:
+        t0: base target T0 of the deployment (pick
+            :data:`repro.crypto.hashing.EASY_T0` for test-speed puzzles).
+    """
+
+    def __init__(self, t0: int) -> None:
+        self.t0 = t0
+
+    def target(self, difficulty: float) -> int:
+        """The puzzle target for a total difficulty ``D``."""
+        return target_for_difficulty(self.t0, difficulty)
+
+    def mine(
+        self,
+        header: BlockHeader,
+        max_attempts: int = 10_000_000,
+        start_nonce: int = 0,
+    ) -> MiningResult:
+        """Search nonces ``start_nonce, start_nonce+1, ...`` for a solution.
+
+        Returns a :class:`MiningResult`; ``solved`` is ``False`` when the
+        attempt budget runs out (callers treat that as "another node won the
+        round first" in lockstep tests).
+        """
+        if max_attempts < 1:
+            raise SimulationError("max_attempts must be positive")
+        target = self.target(header.difficulty)
+        nonce = start_nonce
+        for attempt in range(1, max_attempts + 1):
+            candidate = header.with_nonce(nonce)
+            if meets_target(candidate.hash(), target):
+                return MiningResult(header=candidate, attempts=attempt, solved=True)
+            nonce += 1
+        return MiningResult(header=header, attempts=max_attempts, solved=False)
+
+    def verify(self, header: BlockHeader) -> bool:
+        """Check a header's hash meets the target its own fields declare.
+
+        Receivers additionally check the declared difficulty against their
+        local difficulty table (§III); that cross-check lives in the consensus
+        engines, which know the table.
+        """
+        return meets_target(header.hash(), self.target(header.difficulty))

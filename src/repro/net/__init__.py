@@ -1,0 +1,32 @@
+"""Network substrate: discrete-event simulator, link model, topology, gossip."""
+
+from repro.net.latency import DEFAULT_BANDWIDTH_BPS, DEFAULT_MIN_DELAY, LinkModel
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
+from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.simulator import EventHandle, Simulator
+from repro.net.topology import (
+    average_degree,
+    complete_topology,
+    diameter_hops,
+    random_regular_topology,
+    ring_topology,
+    small_world_topology,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_MIN_DELAY",
+    "EventHandle",
+    "LinkModel",
+    "MESSAGE_OVERHEAD_BYTES",
+    "Message",
+    "NetworkStats",
+    "SimulatedNetwork",
+    "Simulator",
+    "average_degree",
+    "complete_topology",
+    "diameter_hops",
+    "random_regular_topology",
+    "ring_topology",
+    "small_world_topology",
+]

@@ -1,0 +1,44 @@
+"""Network message envelopes.
+
+Messages carry Python objects between simulated nodes; the network charges
+bandwidth for :attr:`Message.size` bytes.  For chain objects (blocks,
+transactions) the size is the real serialized size; protocol messages (PBFT
+votes, etc.) declare their wire size explicitly, which is how the PBFT
+baseline's O(n²) traffic becomes a bandwidth cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_counter = itertools.count()
+
+#: Fixed framing overhead charged per message (headers, kind tag, msg id).
+MESSAGE_OVERHEAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message in flight.
+
+    Attributes:
+        kind: message type tag, e.g. ``"block"``, ``"tx"``, ``"pbft/prepare"``.
+        payload: the carried object (a :class:`~repro.chain.block.Block`,
+            transaction, PBFT vote, ...).
+        body_size: serialized payload size in bytes.
+        origin: node id that created the message.
+        msg_id: unique id used for gossip deduplication.
+    """
+
+    kind: str
+    payload: Any
+    body_size: int
+    origin: int
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    @property
+    def size(self) -> int:
+        """Total bytes charged to the link: body plus framing."""
+        return self.body_size + MESSAGE_OVERHEAD_BYTES

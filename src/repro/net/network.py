@@ -1,0 +1,209 @@
+"""The simulated peer-to-peer network: unicast, broadcast and gossip.
+
+§VII-A: "data transmission between nodes adopts basic Gossip protocol".  The
+network floods messages over the overlay with per-node deduplication: a node
+that sees a message id for the first time delivers it to its handler and
+forwards it to its other neighbors.  Outbound transfers from one node share
+that node's 20 Mbps uplink and queue behind each other, so big blocks and
+chatty protocols (PBFT at large n) pay real bandwidth costs.
+
+Attack hooks: per-node outbound drop filters model *vulnerable nodes* that
+are "prevented from putting the produced blocks into the main chain"
+(§VII-A), and full partitions model crashed peers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.latency import LinkModel
+from repro.net.message import Message
+from repro.net.simulator import Simulator
+
+#: Delivery callback: (message, from_peer) -> None.
+Handler = Callable[[Message, int], None]
+#: Outbound filter: return True to silently drop the message.
+DropFilter = Callable[[Message], bool]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for overhead accounting (§VI-C)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    messages_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+
+class SimulatedNetwork:
+    """Gossip overlay on top of the discrete-event simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        adjacency: dict[int, list[int]],
+        link: LinkModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.adjacency = adjacency
+        self.link = link or LinkModel()
+        self._handlers: dict[int, Handler] = {}
+        self._uplink_free: dict[int, float] = defaultdict(float)
+        self._seen: dict[int, set[int]] = defaultdict(set)
+        self._drop_filters: dict[int, DropFilter] = {}
+        self._offline: set[int] = set()
+        self._partition: dict[int, int] | None = None
+        self.stats = NetworkStats()
+
+    # -- membership -------------------------------------------------------------
+
+    def attach(self, node_id: int, handler: Handler) -> None:
+        """Register a node's delivery handler."""
+        if node_id not in self.adjacency:
+            raise NetworkError(f"node {node_id} not in topology")
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: int) -> None:
+        """Remove a node's handler (it still forwards nothing afterwards)."""
+        self._handlers.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All attached node ids."""
+        return sorted(self._handlers)
+
+    # -- attack hooks --------------------------------------------------------------
+
+    def set_drop_filter(self, node_id: int, drop: DropFilter | None) -> None:
+        """Install (or clear) an outbound drop filter on a node.
+
+        Used by the vulnerable-node attack (Fig. 7): the victim's own block
+        announcements are suppressed while everything else flows normally.
+        """
+        if drop is None:
+            self._drop_filters.pop(node_id, None)
+        else:
+            self._drop_filters[node_id] = drop
+
+    def set_offline(self, node_id: int, offline: bool) -> None:
+        """Fully partition a node (no sends, no deliveries)."""
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def is_offline(self, node_id: int) -> bool:
+        return node_id in self._offline
+
+    def set_partition(self, groups: list[list[int]] | None) -> None:
+        """Partition the network: messages between groups are dropped.
+
+        Pass a list of disjoint node-id groups to split the overlay (nodes
+        not listed keep full connectivity with every group — put every node
+        in a group for a clean split), or ``None`` to heal the partition.
+        Used by convergence tests: after healing, fork choice reorganizes
+        both sides onto one chain (Prop. 1's setting under the worst-case
+        delay δ).
+        """
+        if groups is None:
+            self._partition = None
+            return
+        assignment: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in assignment:
+                    raise NetworkError(f"node {node} in two partition groups")
+                assignment[node] = index
+        self._partition = assignment
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        src_group = self._partition.get(src)
+        dst_group = self._partition.get(dst)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    # -- transmission ----------------------------------------------------------------
+
+    def _transmit(self, src: int, dst: int, message: Message) -> None:
+        """Queue one transfer on ``src``'s uplink and schedule the delivery."""
+        if src in self._offline or dst in self._offline:
+            return
+        if self._crosses_partition(src, dst):
+            return
+        drop = self._drop_filters.get(src)
+        if drop is not None and drop(message):
+            return
+        start = max(self.sim.now, self._uplink_free[src])
+        finish = start + self.link.serialization_time(message.size)
+        self._uplink_free[src] = finish
+        arrival = finish - self.sim.now + self.link.propagation_delay(self.sim.rng)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.size
+        self.stats.bytes_by_kind[message.kind] += message.size
+        self.stats.messages_by_kind[message.kind] += 1
+        self.sim.schedule(arrival, lambda: self._deliver(dst, src, message))
+
+    def _deliver(self, dst: int, from_peer: int, message: Message) -> None:
+        if dst in self._offline:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return
+        self.stats.messages_delivered += 1
+        handler(message, from_peer)
+
+    def unicast(self, src: int, dst: int, message: Message) -> None:
+        """Send a message point-to-point (no gossip forwarding)."""
+        self._transmit(src, dst, message)
+
+    def broadcast(self, src: int, message: Message) -> None:
+        """Send directly to every other attached node (PBFT-style all-to-all).
+
+        Each copy queues on the sender's uplink, so broadcasting to n-1 peers
+        costs (n-1) serialized transfers — the communication bottleneck that
+        limits BFT scalability in the paper's framing (§I, §VIII-A).
+        """
+        for dst in self.node_ids:
+            if dst != src:
+                self._transmit(src, dst, message)
+
+    # -- gossip ------------------------------------------------------------------------
+
+    def gossip(self, origin: int, message: Message) -> None:
+        """Flood a message over the overlay with per-node dedup (§VII-A)."""
+        self._seen[origin].add(message.msg_id)
+        self._forward(origin, message, exclude=None)
+
+    def _forward(self, node_id: int, message: Message, exclude: int | None) -> None:
+        for peer in self.adjacency[node_id]:
+            if peer == exclude:
+                continue
+            self._transmit(node_id, peer, message)
+
+    def gossip_deliver(self, dst: int, from_peer: int, message: Message) -> bool:
+        """Gossip reception hook called by node handlers.
+
+        Returns ``True`` if the message is new at ``dst`` (caller should
+        process it); forwarding to the remaining neighbors is scheduled
+        automatically.  Returns ``False`` for duplicates.
+        """
+        seen = self._seen[dst]
+        if message.msg_id in seen:
+            return False
+        seen.add(message.msg_id)
+        self._forward(dst, message, exclude=from_peer)
+        return True
+
+    # -- introspection --------------------------------------------------------------------
+
+    def uplink_backlog(self, node_id: int) -> float:
+        """Seconds of queued outbound traffic on a node's uplink."""
+        return max(0.0, self._uplink_free[node_id] - self.sim.now)

@@ -1,0 +1,149 @@
+"""Deterministic discrete-event simulation engine.
+
+All experiments in this reproduction run on a single event loop: block
+production races, gossip propagation, PBFT phase timers and attack behaviors
+are all events on one heap.  Determinism is a hard requirement (identical
+seeds must give identical block trees), so:
+
+* the event queue breaks time ties by a monotonically increasing sequence
+  number — insertion order, never object identity;
+* all randomness flows through one seeded :class:`numpy.random.Generator`
+  owned by the simulator.
+
+Events are callbacks scheduled at absolute or relative times and can be
+cancelled (timers that get re-armed, e.g. a miner restarting on a new head,
+are cancels + reschedules).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired or was cancelled."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+
+class Simulator:
+    """A seeded discrete-event simulator.
+
+    Attributes:
+        now: current simulated time in seconds.
+        rng: the run's single random generator; every stochastic component
+            (mining oracle, gossip fan-out sampling, workloads, attacks) must
+            draw from it so one seed reproduces the whole run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events scheduled but not yet fired (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time:.6f} < now {self.now:.6f}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after a non-negative delay."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the next event is later than this time (the clock
+                is advanced to ``until``).
+            max_events: stop after this many events (runaway guard).
+            stop_when: predicate checked after every event; return ``True``
+                to stop (used e.g. to stop at a target chain height).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback()
+                self._events_processed += 1
+                processed += 1
+                if stop_when is not None and stop_when():
+                    return
+                if max_events is not None and processed >= max_events:
+                    return
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def exponential(self, rate: float) -> float:
+        """Sample an Exp(rate) interarrival time from the run's generator."""
+        if rate <= 0:
+            raise SimulationError(f"exponential rate must be positive, got {rate}")
+        return float(self.rng.exponential(1.0 / rate))

@@ -1,0 +1,76 @@
+"""Network topologies.
+
+Gossip dissemination speed depends on the overlay graph; §VI-D notes that
+"the fork rate of PoW gradually decreases, as the average out-degree of nodes
+increases", so the fork-model benchmark sweeps out-degree.  Topologies are
+built with :mod:`networkx` and reduced to adjacency lists keyed by integer
+node ids ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import NetworkError
+
+
+def _adjacency(graph: nx.Graph) -> dict[int, list[int]]:
+    if not nx.is_connected(graph):
+        raise NetworkError("topology must be connected")
+    return {node: sorted(graph.neighbors(node)) for node in sorted(graph.nodes)}
+
+
+def complete_topology(n: int) -> dict[int, list[int]]:
+    """Every node peers with every other node (small consortia)."""
+    if n < 2:
+        raise NetworkError("need at least 2 nodes")
+    return _adjacency(nx.complete_graph(n))
+
+
+def random_regular_topology(n: int, degree: int, seed: int = 0) -> dict[int, list[int]]:
+    """A connected random d-regular overlay (the default for large runs).
+
+    Retries with incremented seeds until the sampled graph is connected,
+    which for d >= 3 succeeds almost immediately.
+    """
+    if degree >= n:
+        raise NetworkError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2:
+        raise NetworkError("n * degree must be even for a regular graph")
+    for attempt in range(32):
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return _adjacency(graph)
+    raise NetworkError(f"could not sample a connected {degree}-regular graph")
+
+
+def small_world_topology(
+    n: int, k: int = 6, rewire_p: float = 0.2, seed: int = 0
+) -> dict[int, list[int]]:
+    """A Watts–Strogatz small-world overlay (clustered, short paths)."""
+    graph = nx.connected_watts_strogatz_graph(n, k, rewire_p, tries=200, seed=seed)
+    return _adjacency(graph)
+
+
+def ring_topology(n: int) -> dict[int, list[int]]:
+    """A plain cycle — the worst case for gossip diameter; used in tests."""
+    if n < 3:
+        raise NetworkError("ring needs at least 3 nodes")
+    return _adjacency(nx.cycle_graph(n))
+
+
+def average_degree(adjacency: dict[int, list[int]]) -> float:
+    """Mean out-degree of an adjacency list."""
+    if not adjacency:
+        return 0.0
+    return sum(len(peers) for peers in adjacency.values()) / len(adjacency)
+
+
+def diameter_hops(adjacency: dict[int, list[int]]) -> int:
+    """Graph diameter in hops (drives the paper's max network delay δ)."""
+    graph = nx.Graph()
+    for node, peers in adjacency.items():
+        graph.add_node(node)
+        for peer in peers:
+            graph.add_edge(node, peer)
+    return nx.diameter(graph)

@@ -1,0 +1,6 @@
+"""Full consortium node: consensus + ledger + governance composition."""
+
+from repro.node.config import FullNodeConfig
+from repro.node.node import FullNode
+
+__all__ = ["FullNode", "FullNodeConfig"]

@@ -1,0 +1,198 @@
+"""The full consortium node: consensus + ledger + governance.
+
+:class:`FullNode` composes the Themis mining node with the complete data
+plane the paper describes for a consortium deployment:
+
+* a mempool of signed 512-byte transactions, gossiped between nodes;
+* ledger execution of every main-chain block (balances, nonces, contract
+  calls), with deterministic state roots for cross-node consistency checks;
+* the :class:`~repro.ledger.contract.NodeSetContract` governance flow of
+  §IV-C — membership proposals and votes ride ordinary transactions, and
+  passed proposals take effect at the next round boundary, rescaling the
+  consensus view of ``n``.
+
+Every FullNode keeps its own replica of contract state derived purely from
+its main chain, so membership stays consistent without extra communication —
+the same property the difficulty table relies on (§IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction, make_transaction
+from repro.consensus.base import RunContext
+from repro.consensus.powfamily import MiningNode, MiningNodeConfig
+from repro.core.nodeset import NodeSetManager
+from repro.crypto.keys import KeyPair
+from repro.errors import InvalidTransactionError
+from repro.ledger.contract import (
+    NODESET_CONTRACT_ADDRESS,
+    encode_propose_add,
+    encode_propose_remove,
+    encode_vote,
+)
+from repro.ledger.executor import Executor
+from repro.ledger.mempool import Mempool
+from repro.ledger.state import AccountState
+from repro.net.message import Message
+from repro.node.config import FullNodeConfig
+
+
+class FullNode(MiningNode):
+    """A complete consortium-blockchain node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        keypair: KeyPair,
+        ctx: RunContext,
+        config: FullNodeConfig | None = None,
+    ) -> None:
+        self.full_config = config or FullNodeConfig()
+        cfg = self.full_config
+        self.nodeset = NodeSetManager.from_members(list(ctx.members))
+        executor = Executor(verify_signatures=cfg.verify_signatures)
+        executor.register(self.nodeset.contract)
+        super().__init__(
+            node_id,
+            keypair,
+            ctx,
+            MiningNodeConfig(
+                rule_kind=cfg.rule_kind,
+                adaptive=cfg.adaptive,
+                hash_rate=cfg.hash_rate,
+                batch_size=0,
+                compact_blocks=False,
+                sign_blocks=cfg.sign_blocks,
+                verify_signatures=cfg.verify_signatures,
+                real_pow=cfg.real_pow,
+                execute_ledger=True,
+            ),
+            mempool=Mempool(),
+            executor=executor,
+            members_fn=lambda: self.nodeset.members,
+        )
+        self.builder.max_block_txs = cfg.max_block_txs
+        self._executed_head: bytes = ctx.genesis.block_id
+        self.ledger = self._genesis_state()
+        self._nonce = 0
+
+    def _genesis_state(self) -> AccountState:
+        state = AccountState()
+        for member in self.ctx.members:
+            state.credit(member, self.full_config.initial_balance)
+        return state
+
+    # -- transactions -------------------------------------------------------------
+
+    def next_nonce(self) -> int:
+        """Next unused nonce for this node's own account.
+
+        Tracks locally submitted transactions still in flight, so several
+        submissions per block are possible.
+        """
+        on_chain = self.ledger.nonce(self.address)
+        nonce = max(on_chain, self._nonce)
+        self._nonce = nonce + 1
+        return nonce
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Admit a transaction locally and gossip it to the network."""
+        if self.config.verify_signatures and not tx.verify_signature():
+            raise InvalidTransactionError("refusing to gossip an unsigned transaction")
+        if self.mempool.add(tx):
+            self.ctx.network.gossip(
+                self.node_id,
+                Message(kind="tx", payload=tx, body_size=tx.size, origin=self.node_id),
+            )
+
+    def pay(self, recipient: bytes, amount: int) -> Transaction:
+        """Build, sign and submit a transfer from this node's account."""
+        tx = make_transaction(self.keypair, recipient, amount, self.next_nonce())
+        self.submit_transaction(tx)
+        return tx
+
+    # -- governance (§IV-C) ----------------------------------------------------------
+
+    def propose_add_member(self, new_member: bytes, evidence: bytes = b"") -> Transaction:
+        """Submit a node-joining proposal via the NodeSetContract."""
+        tx = make_transaction(
+            self.keypair,
+            NODESET_CONTRACT_ADDRESS,
+            0,
+            self.next_nonce(),
+            payload=encode_propose_add(new_member, evidence),
+        )
+        self.submit_transaction(tx)
+        return tx
+
+    def propose_remove_member(self, member: bytes, evidence: bytes = b"") -> Transaction:
+        """Submit a node-removal proposal (misbehaviour evidence attached)."""
+        tx = make_transaction(
+            self.keypair,
+            NODESET_CONTRACT_ADDRESS,
+            0,
+            self.next_nonce(),
+            payload=encode_propose_remove(member, evidence),
+        )
+        self.submit_transaction(tx)
+        return tx
+
+    def vote(self, proposal_id: int, approve: bool) -> Transaction:
+        """Vote on an open membership proposal (one node one vote)."""
+        tx = make_transaction(
+            self.keypair,
+            NODESET_CONTRACT_ADDRESS,
+            0,
+            self.next_nonce(),
+            payload=encode_vote(proposal_id, approve),
+        )
+        self.submit_transaction(tx)
+        return tx
+
+    # -- execution -----------------------------------------------------------------------
+
+    def _on_main_chain_advance(self, block: Block, outcome: str) -> None:
+        super()._on_main_chain_advance(block, outcome)
+        self._sync_ledger()
+
+    def _after_head_update(self) -> None:
+        super()._after_head_update()
+        self._sync_ledger()
+
+    def _sync_ledger(self) -> None:
+        """(Re-)execute the main chain into the ledger state.
+
+        Extensions execute incrementally; reorgs replay from genesis (chains
+        in full-node deployments are short, and correctness beats speed
+        here).  After execution the §IV-C round boundary fires: passed
+        membership proposals take effect.
+        """
+        head = self.state.head_id
+        if head == self._executed_head:
+            return
+        chain = self.state.main_chain()
+        chain_ids = [b.block_id for b in chain]
+        if self._executed_head in chain_ids:
+            start = chain_ids.index(self._executed_head) + 1
+        else:
+            # Reorg: replay from scratch with fresh contract state.
+            self.nodeset = NodeSetManager.from_members(list(self.ctx.members))
+            self.executor.contracts.clear()
+            self.executor.register(self.nodeset.contract)
+            self.ledger = self._genesis_state()
+            start = 1
+        for block in chain[start:]:
+            self.executor.execute_block(self.ledger, block)
+            self.nodeset.begin_round()
+        self._executed_head = head
+
+    # -- views ---------------------------------------------------------------------------
+
+    def balance(self) -> int:
+        """This node's own on-chain balance."""
+        return self.ledger.balance(self.address)
+
+    def state_root(self) -> bytes:
+        """Commitment to the executed ledger state."""
+        return self.ledger.state_root()

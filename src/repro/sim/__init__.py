@@ -1,0 +1,80 @@
+"""Simulation harness: runner, metrics, workloads, attacks, scenarios."""
+
+from repro.sim.attacks import (
+    SelfishMiner,
+    VulnerableNodeAttack,
+    nakamoto_catch_up_probability,
+    private_chain_race,
+)
+from repro.sim.figdata import FigureData, export_series
+from repro.sim.fleet import build_mining_fleet, run_fleet_to_height
+from repro.sim.metrics import (
+    ForkReport,
+    committed_tps,
+    epoch_producer_counts,
+    equality_series,
+    equality_series_from_producers,
+    fork_report,
+    probability_vector_for_epoch,
+    stable_value,
+    unpredictability_series,
+)
+from repro.sim.reporting import ascii_chart, load_results, result_to_dict, save_results, summary_line
+from repro.sim.runner import Algorithm, ExperimentConfig, RunResult, run_experiment
+from repro.sim.scenarios import (
+    ALL_ALGORITHMS,
+    POW_FAMILY,
+    attack_scenario,
+    epoch_length_scenario,
+    equality_scenario,
+    fork_scenario,
+    scalability_scenario,
+)
+from repro.sim.sweeps import SweepSummary, compare_algorithms, seed_sweep, summarize
+from repro.sim.tracing import TraceEvent, Tracer, attach_tracer
+from repro.sim.workload import TransactionWorkload, make_transfer_batch
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "Algorithm",
+    "ExperimentConfig",
+    "ForkReport",
+    "POW_FAMILY",
+    "RunResult",
+    "SelfishMiner",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+    "build_mining_fleet",
+    "run_fleet_to_height",
+    "TransactionWorkload",
+    "VulnerableNodeAttack",
+    "FigureData",
+    "SweepSummary",
+    "ascii_chart",
+    "compare_algorithms",
+    "export_series",
+    "seed_sweep",
+    "summarize",
+    "attack_scenario",
+    "committed_tps",
+    "epoch_length_scenario",
+    "epoch_producer_counts",
+    "equality_scenario",
+    "equality_series",
+    "equality_series_from_producers",
+    "fork_report",
+    "fork_scenario",
+    "make_transfer_batch",
+    "nakamoto_catch_up_probability",
+    "private_chain_race",
+    "probability_vector_for_epoch",
+    "load_results",
+    "result_to_dict",
+    "run_experiment",
+    "save_results",
+    "summary_line",
+    "scalability_scenario",
+    "stable_value",
+    "unpredictability_series",
+]

@@ -1,0 +1,95 @@
+"""Figure-data export: CSV files for external plotting.
+
+The benchmarks print text tables; for papers and notebooks it's handier to
+have machine-readable series.  :class:`FigureData` accumulates named columns
+and writes plain CSV (no third-party dependency), one file per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class FigureData:
+    """Columnar data for one figure.
+
+    Attributes:
+        name: figure identifier (becomes the file stem).
+        xlabel: name of the x column.
+        x: shared x values.
+        series: named y columns, each aligned with ``x``.
+    """
+
+    name: str
+    xlabel: str
+    x: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Add one y column (must match the x length)."""
+        if len(values) != len(self.x):
+            raise SimulationError(
+                f"series {label!r} has {len(values)} values for {len(self.x)} x points"
+            )
+        if label in self.series:
+            raise SimulationError(f"duplicate series {label!r}")
+        self.series[label] = [float(v) for v in values]
+
+    def write_csv(self, directory: str | Path) -> Path:
+        """Write ``<directory>/<name>.csv`` and return the path."""
+        if not self.x:
+            raise SimulationError("no data to write")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([self.xlabel, *self.series])
+            for index, x_value in enumerate(self.x):
+                writer.writerow(
+                    [x_value, *(self.series[label][index] for label in self.series)]
+                )
+        return path
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "FigureData":
+        """Load a previously written figure file."""
+        path = Path(path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        if len(rows) < 2:
+            raise SimulationError(f"{path} has no data rows")
+        header = rows[0]
+        data = cls(name=path.stem, xlabel=header[0])
+        data.x = [_maybe_number(row[0]) for row in rows[1:]]
+        for column, label in enumerate(header[1:], start=1):
+            data.series[label] = [float(row[column]) for row in rows[1:]]
+        return data
+
+
+def _maybe_number(text: str):
+    try:
+        value = float(text)
+    except ValueError:
+        return text
+    return int(value) if value.is_integer() else value
+
+
+def export_series(
+    name: str,
+    xlabel: str,
+    x: Sequence,
+    series: dict[str, Sequence[float]],
+    directory: str | Path = "figdata",
+) -> Path:
+    """One-call export: build a :class:`FigureData` and write it."""
+    data = FigureData(name=name, xlabel=xlabel, x=list(x))
+    for label, values in series.items():
+        data.add_series(label, values)
+    return data.write_csv(directory)

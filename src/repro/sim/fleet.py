@@ -1,0 +1,105 @@
+"""Fleet construction helpers.
+
+:func:`build_mining_fleet` assembles the full stack for a PoW-family
+deployment — simulator, overlay, oracle, identities, nodes — in one call,
+for tests, examples and ad-hoc exploration.  (The benchmark path goes
+through :func:`repro.sim.runner.run_experiment`, which layers metrics and
+stop conditions on top.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.genesis import make_genesis
+from repro.consensus.base import RunContext
+from repro.consensus.powfamily import MiningNode, MiningNodeConfig, themis_config
+from repro.core.difficulty import DifficultyParams
+from repro.crypto.keys import KeyPair
+from repro.errors import SimulationError
+from repro.mining.oracle import MiningOracle
+from repro.net.latency import LinkModel
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.topology import complete_topology, random_regular_topology
+
+
+def build_mining_fleet(
+    n: int,
+    configs: Sequence[MiningNodeConfig] | None = None,
+    seed: int = 0,
+    beta: float = 8.0,
+    i0: float = 10.0,
+    h0: float = 1.0,
+    degree: int = 6,
+    jitter: float = 0.01,
+    link: LinkModel | None = None,
+    key_prefix: str = "node",
+    initial_base_scale: float | None = None,
+) -> tuple[RunContext, list[MiningNode]]:
+    """Build an ``n``-node PoW-family fleet on a fresh simulator.
+
+    Args:
+        configs: per-node configurations; defaults to Themis at ``H0`` power.
+        degree: overlay degree (complete graph when ``n <= degree + 1``).
+        initial_base_scale: Eq. 7 calibration factor; defaults to the
+            fleet's actual total power over ``n·H0`` so epoch 0 starts at
+            the target interval.
+
+    Returns:
+        ``(ctx, nodes)`` — call ``node.start()`` on each and drive
+        ``ctx.sim``.
+    """
+    if n < 2:
+        raise SimulationError("a fleet needs at least two nodes")
+    if configs is None:
+        configs = [themis_config(hash_rate=h0) for _ in range(n)]
+    if len(configs) != n:
+        raise SimulationError(f"{len(configs)} configs for {n} nodes")
+    if initial_base_scale is None:
+        total_power = sum(c.hash_rate for c in configs)
+        initial_base_scale = max(1e-9, total_power / (n * h0))
+    sim = Simulator(seed=seed)
+    if n <= degree + 1:
+        topology = complete_topology(n)
+    else:
+        if (n * degree) % 2:
+            degree += 1
+        topology = random_regular_topology(n, degree, seed=seed)
+    network = SimulatedNetwork(
+        sim, topology, link or LinkModel(jitter=jitter)
+    )
+    params = DifficultyParams(
+        i0=i0, h0=h0, beta=beta, initial_base_scale=initial_base_scale
+    )
+    keys = [KeyPair.from_seed(f"{key_prefix}-{i}") for i in range(n)]
+    ctx = RunContext(
+        sim=sim,
+        network=network,
+        oracle=MiningOracle(sim.rng, params.t0),
+        genesis=make_genesis(),
+        params=params,
+        members=[k.public.fingerprint() for k in keys],
+    )
+    nodes = [MiningNode(i, keys[i], ctx, configs[i]) for i in range(n)]
+    return ctx, nodes
+
+
+def run_fleet_to_height(
+    ctx: RunContext,
+    nodes: Sequence[MiningNode],
+    height: int,
+    max_events: int = 10_000_000,
+    observer_index: int = 0,
+) -> None:
+    """Start every node and run until the observer's chain reaches a height."""
+    for node in nodes:
+        node.start()
+    observer = nodes[observer_index]
+    ctx.sim.run(
+        stop_when=lambda: observer.state.height() >= height, max_events=max_events
+    )
+    if observer.state.height() < height:
+        raise SimulationError(
+            f"fleet stalled at height {observer.state.height()} < {height}"
+        )

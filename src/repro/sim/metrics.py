@@ -1,0 +1,228 @@
+"""Evaluation metrics (§VII-C).
+
+Implements the paper's four metrics over simulation outputs:
+
+* **variance of block-producing frequency** ``σ_f²`` per counting epoch
+  (Equality, Fig. 4);
+* **variance of block-producing probability** ``σ_p²`` per epoch
+  (Unpredictability, Fig. 5) — computed from the true powers and the
+  difficulty table in force during the epoch, since the probability of
+  winning a round is the effective-power share (Eq. 3);
+* **TPS** — committed transactions per simulated second (Fig. 6, Fig. 7);
+* **fork rate and fork duration** over the final block tree (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.chain.blocktree import BlockTree
+from repro.core.equality import variance_of_frequency
+from repro.core.themis import ConsensusChainState
+from repro.errors import SimulationError
+from repro.mining.power import PowerProfile
+
+
+# -- Equality (Fig. 4) ---------------------------------------------------------------
+
+
+def epoch_producer_counts(
+    chain: Sequence[Block], epoch_blocks: int
+) -> list[Counter]:
+    """Split a main chain into epochs of ``Δ`` blocks and count producers.
+
+    Only complete epochs are returned; genesis is excluded.
+    """
+    if epoch_blocks < 1:
+        raise SimulationError("epoch_blocks must be positive")
+    body = [b for b in chain if b.height > 0]
+    epochs: list[Counter] = []
+    for start in range(0, len(body) - epoch_blocks + 1, epoch_blocks):
+        window = body[start : start + epoch_blocks]
+        counts: Counter = Counter()
+        for block in window:
+            counts[block.producer] += 1
+        epochs.append(counts)
+    return epochs
+
+
+def equality_series(
+    chain: Sequence[Block], members: Sequence[bytes], epoch_blocks: int
+) -> list[float]:
+    """``σ_f²`` per epoch over a main chain (the Fig. 4 series)."""
+    return [
+        variance_of_frequency(counts, members)
+        for counts in epoch_producer_counts(chain, epoch_blocks)
+    ]
+
+
+def equality_series_from_producers(
+    producers: Sequence[bytes], members: Sequence[bytes], epoch_blocks: int
+) -> list[float]:
+    """``σ_f²`` per epoch from a flat producer sequence (PBFT path)."""
+    series: list[float] = []
+    for start in range(0, len(producers) - epoch_blocks + 1, epoch_blocks):
+        window = producers[start : start + epoch_blocks]
+        series.append(variance_of_frequency(Counter(window), members))
+    return series
+
+
+def stable_value(series: Sequence[float], tail: int = 5, robust: bool = False) -> float:
+    """The paper's "stable value": mean of the last ``tail`` epochs (Fig. 9,
+    footnote 15).
+
+    ``robust=True`` takes the median instead — Eq. 6's ``max(·, 1)`` reset
+    occasionally fires a one-epoch burst (a strong node whose multiple
+    overshot samples ``q = 0`` and falls back to basic difficulty; see
+    EXPERIMENTS.md), and a single burst epoch would otherwise dominate the
+    mean.
+    """
+    if not series:
+        raise SimulationError("series is empty")
+    window = series[-tail:] if len(series) >= tail else series
+    return float(np.median(window) if robust else np.mean(window))
+
+
+# -- Unpredictability (Fig. 5) ----------------------------------------------------------
+
+
+def probability_vector_for_epoch(
+    state: ConsensusChainState,
+    profile: PowerProfile,
+    members: Sequence[bytes],
+    epoch: int,
+) -> np.ndarray:
+    """Per-node win probabilities in an epoch (Eq. 3).
+
+    ``p_i = (h_i/m_i) / Σ_j (h_j/m_j)`` — the shared ``D_base`` cancels.
+    The difficulty table is resolved along the observer's main chain.
+    """
+    anchor_height = epoch * state.epoch_blocks
+    head = state.head_id
+    if state.tree.get(head).height < anchor_height:
+        raise SimulationError(f"main chain has not reached epoch {epoch}")
+    anchor = state.anchor_for_height(head, anchor_height + 1)
+    table = state.table_for_anchor(anchor)
+    rates = np.array(
+        [profile.powers[i] / table.multiple(members[i]) for i in range(len(members))],
+        dtype=float,
+    )
+    return rates / rates.sum()
+
+
+def unpredictability_series(
+    state: ConsensusChainState,
+    profile: PowerProfile,
+    members: Sequence[bytes],
+    epochs: int,
+) -> list[float]:
+    """``σ_p²`` per epoch (the Fig. 5 series)."""
+    return [
+        float(
+            np.var(probability_vector_for_epoch(state, profile, members, epoch))
+        )
+        for epoch in range(epochs)
+    ]
+
+
+# -- TPS (Fig. 6, Fig. 7) ------------------------------------------------------------------
+
+
+def committed_tps(
+    committed_blocks: int, batch_size: int, duration: float
+) -> float:
+    """Committed transactions per second under saturated load.
+
+    Blocks are full at ``batch_size`` (the standard TPS-benchmark regime);
+    stale blocks never count because their transactions re-enter later
+    blocks, so goodput is main-chain growth × batch.
+    """
+    if duration <= 0:
+        raise SimulationError("duration must be positive")
+    return committed_blocks * batch_size / duration
+
+
+# -- Forks (Fig. 8) ----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForkReport:
+    """Fork statistics over one finished run (observer's block tree)."""
+
+    total_blocks: int
+    main_chain_blocks: int
+    stale_blocks: int
+    fork_events: int
+    fork_rate: float
+    durations: tuple[int, ...]
+
+    @property
+    def longest_duration(self) -> int:
+        """Longest fork duration in block heights (Fig. 8's headline stat)."""
+        return max(self.durations, default=0)
+
+    @property
+    def mean_duration(self) -> float:
+        return float(np.mean(self.durations)) if self.durations else 0.0
+
+
+def fork_report(
+    tree: BlockTree, main_chain: Sequence[Block], from_height: int = 1
+) -> ForkReport:
+    """Measure fork rate and durations on a block tree.
+
+    * *fork rate* — stale blocks / total blocks, the fraction of produced
+      blocks that never reached the main chain;
+    * *fork duration* — for each stale subtree branching off the main chain,
+      the number of heights from the branch point to the subtree's deepest
+      block ("from the start to the end block height during a fork",
+      §VII-C).
+
+    ``from_height`` excludes the difficulty-bootstrap warmup: the first
+    epoch's block intervals are far from ``I0`` until ``D_base`` calibrates
+    to the actual invested power, which would inflate fork statistics.
+    """
+    max_height = main_chain[-1].height
+    total = 0
+    for height in range(from_height, max_height + 1):
+        total += len(tree.blocks_at_height(height))
+    main_blocks = sum(1 for b in main_chain if b.height >= from_height)
+    stale = total - main_blocks
+    main_ids = {b.block_id for b in main_chain}
+    durations: list[int] = []
+    events = 0
+    for block in main_chain:
+        for child in tree.children(block.block_id):
+            if child in main_ids:
+                continue
+            branch_height = tree.get(child).height
+            if branch_height < from_height:
+                continue
+            events += 1
+            deepest = _subtree_max_height(tree, child)
+            durations.append(deepest - branch_height + 1)
+    fork_rate = stale / total if total else 0.0
+    return ForkReport(
+        total_blocks=total,
+        main_chain_blocks=main_blocks,
+        stale_blocks=stale,
+        fork_events=events,
+        fork_rate=fork_rate,
+        durations=tuple(durations),
+    )
+
+
+def _subtree_max_height(tree: BlockTree, block_id: bytes) -> int:
+    best = tree.get(block_id).height
+    stack = [block_id]
+    while stack:
+        current = stack.pop()
+        height = tree.get(current).height
+        best = max(best, height)
+        stack.extend(tree.children(current))
+    return best

@@ -1,0 +1,130 @@
+"""Result serialization and text rendering.
+
+Experiment outputs are plain dataclasses; this module turns them into JSON
+records (for archiving sweeps and diffing runs across machines) and renders
+quick ASCII charts so the figures are inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.runner import ExperimentConfig, RunResult
+
+
+def config_to_dict(cfg: ExperimentConfig) -> dict[str, Any]:
+    """JSON-safe dictionary form of an experiment configuration."""
+    return asdict(cfg)
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """JSON-safe summary of a run (drops live objects, keeps every metric)."""
+    record: dict[str, Any] = {
+        "config": config_to_dict(result.config),
+        "duration": result.duration,
+        "committed_blocks": result.committed_blocks,
+        "tps": result.tps,
+        "equality": list(result.equality),
+        "unpredictability": list(result.unpredictability),
+        "view_changes": result.view_changes,
+        "network": {
+            "messages_sent": result.network.messages_sent,
+            "bytes_sent": result.network.bytes_sent,
+            "messages_delivered": result.network.messages_delivered,
+            "bytes_by_kind": dict(result.network.bytes_by_kind),
+        },
+    }
+    if result.fork is not None:
+        record["fork"] = {
+            "total_blocks": result.fork.total_blocks,
+            "stale_blocks": result.fork.stale_blocks,
+            "fork_rate": result.fork.fork_rate,
+            "fork_events": result.fork.fork_events,
+            "longest_duration": result.fork.longest_duration,
+            "mean_duration": result.fork.mean_duration,
+        }
+    else:
+        record["fork"] = None
+    return record
+
+
+def save_results(results: Sequence[RunResult], path: str | Path) -> Path:
+    """Write a list of run records as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [result_to_dict(r) for r in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> list[dict[str, Any]]:
+    """Read run records back (as dictionaries; configs are data, not code)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise SimulationError(f"{path} does not contain a result list")
+    return data
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """Render one or more numeric series as a crude ASCII line chart.
+
+    Each series gets a marker character; points are binned onto a
+    ``width × height`` grid.  Useful for eyeballing Fig. 4/5-style decay
+    curves in a terminal.
+    """
+    import math
+
+    if not series:
+        raise SimulationError("nothing to chart")
+    markers = "*o+x#@%&"
+    values = [v for s in series.values() for v in s]
+    if not values:
+        raise SimulationError("series are empty")
+    if logy:
+        floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1e-12
+        transform = lambda v: math.log10(max(v, floor))
+    else:
+        transform = lambda v: v
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        n = len(points)
+        for i, value in enumerate(points):
+            x = round(i * (width - 1) / max(1, n - 1))
+            y = round((transform(value) - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend + ("   (log y)" if logy else ""))
+    return "\n".join(lines)
+
+
+def summary_line(result: RunResult) -> str:
+    """One-line human summary of a run."""
+    cfg = result.config
+    fork = (
+        f"fork {100 * result.fork.fork_rate:.2f}%/{result.fork.longest_duration}"
+        if result.fork
+        else "fork n/a"
+    )
+    eq = f"{result.equality[-1]:.2e}" if result.equality else "n/a"
+    return (
+        f"{cfg.algorithm:>12s} n={cfg.n:<4d} seed={cfg.seed:<3d} "
+        f"tps={result.tps:8.1f} σ_f²={eq} {fork} "
+        f"msgs={result.network.messages_sent}"
+    )

@@ -1,0 +1,296 @@
+"""End-to-end experiment orchestration.
+
+One entry point, :func:`run_experiment`, reproduces any of the paper's
+evaluation runs: it builds the seeded simulator, topology, power profile and
+node fleet for the requested algorithm, runs to a target number of difficulty
+epochs (or PBFT rounds), and returns a :class:`RunResult` carrying every
+§VII-C metric series the figures plot.
+
+All four §VII-B algorithms are supported:
+
+* ``themis`` — GEOST + self-adaptive difficulty;
+* ``themis-lite`` — GHOST + self-adaptive difficulty;
+* ``pow-h`` — GHOST + fixed difficulty multiples;
+* ``pbft`` — the PBFT baseline cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.chain.genesis import make_genesis
+from repro.consensus.base import RunContext
+from repro.consensus.pbft import PBFTCluster, PBFTConfig
+from repro.consensus.powfamily import (
+    MiningNode,
+    MiningNodeConfig,
+    powh_config,
+    themis_config,
+    themis_lite_config,
+)
+from repro.core.difficulty import DifficultyParams
+from repro.core.equality import round_robin_probability_variance
+from repro.errors import SimulationError
+from repro.mining.oracle import MiningOracle
+from repro.mining.power import PowerProfile, pool_distribution_profile, uniform_profile
+from repro.net.latency import LinkModel
+from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.topology import complete_topology, random_regular_topology
+from repro.sim.attacks import VulnerableNodeAttack
+from repro.sim.metrics import (
+    ForkReport,
+    committed_tps,
+    equality_series,
+    equality_series_from_producers,
+    fork_report,
+    unpredictability_series,
+)
+
+Algorithm = Literal["themis", "themis-lite", "pow-h", "pbft"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one evaluation run (§VII-A defaults).
+
+    Attributes:
+        algorithm: which §VII-B algorithm to run.
+        n: consensus node count.
+        seed: master seed; everything stochastic derives from it.
+        epochs: difficulty epochs to complete (PoW family) — the run stops
+            once the observer's main chain spans this many epochs.
+        pbft_rounds: committed rounds for a PBFT run.
+        beta: epoch length factor, ``Δ = β·n`` (§VII-A uses 8).
+        i0: target block interval ``I0`` seconds.
+        h0: minimum node hash rate ``H0``.
+        power: initial computing-power distribution — ``"pools"`` is the
+            Fig. 3 snapshot, ``"uniform"`` the all-``H0`` ideal.
+        degree: gossip overlay degree (complete graph when ``n <= degree+1``).
+        batch_size: transactions represented per block (TPS accounting).
+        vulnerable_ratio: Fig. 7's attacked-producer fraction ``R_vul``.
+        jitter: per-hop uniform delay jitter in seconds (breaks ties the way
+            real networks do).
+        bandwidth_bps / min_delay: §VII-A link parameters.
+        max_sim_time: simulated-seconds safety cap.
+        max_events: event-count safety cap.
+    """
+
+    algorithm: Algorithm = "themis"
+    n: int = 40
+    seed: int = 0
+    epochs: int = 10
+    pbft_rounds: int = 50
+    beta: float = 8.0
+    i0: float = 10.0
+    h0: float = 1.0
+    power: Literal["pools", "uniform"] = "pools"
+    degree: int = 6
+    batch_size: int = 2000
+    vulnerable_ratio: float = 0.0
+    measure_from_epoch: int = 1
+    target_height: int | None = None
+    measure_from_height: int | None = None
+    calibrate_initial_difficulty: bool = True
+    jitter: float = 0.02
+    bandwidth_bps: float = 20_000_000.0
+    min_delay: float = 0.100
+    max_sim_time: float = 10_000_000.0
+    max_events: int = 200_000_000
+
+    def difficulty_params(self) -> DifficultyParams:
+        scale = 1.0
+        if self.calibrate_initial_difficulty:
+            profile = self.power_profile()
+            scale = profile.total / (self.n * self.h0)
+        return DifficultyParams(
+            i0=self.i0, h0=self.h0, beta=self.beta, initial_base_scale=scale
+        )
+
+    def power_profile(self) -> PowerProfile:
+        if self.power == "pools":
+            return pool_distribution_profile(self.n, self.h0)
+        return uniform_profile(self.n, self.h0)
+
+    def mining_config(self, hash_rate: float) -> MiningNodeConfig:
+        factory = {
+            "themis": themis_config,
+            "themis-lite": themis_lite_config,
+            "pow-h": powh_config,
+        }[self.algorithm]
+        return factory(hash_rate=hash_rate, batch_size=self.batch_size)
+
+
+@dataclass
+class RunResult:
+    """Everything the benchmarks need from one finished run."""
+
+    config: ExperimentConfig
+    duration: float
+    committed_blocks: int
+    tps: float
+    equality: list[float]
+    unpredictability: list[float]
+    fork: ForkReport | None
+    network: NetworkStats
+    members: list[bytes] = field(default_factory=list)
+    observer: MiningNode | None = None
+    pbft: PBFTCluster | None = None
+    view_changes: int = 0
+
+    @property
+    def epoch_blocks(self) -> int:
+        return self.config.difficulty_params().epoch_length(self.config.n)
+
+
+def _build_topology(cfg: ExperimentConfig) -> dict[int, list[int]]:
+    if cfg.n <= cfg.degree + 1:
+        return complete_topology(cfg.n)
+    degree = cfg.degree
+    if (cfg.n * degree) % 2:
+        degree += 1
+    return random_regular_topology(cfg.n, degree, seed=cfg.seed)
+
+
+def _build_context(cfg: ExperimentConfig):
+    from repro.crypto.keys import KeyPair
+
+    sim = Simulator(seed=cfg.seed)
+    link = LinkModel(
+        bandwidth_bps=cfg.bandwidth_bps, min_delay=cfg.min_delay, jitter=cfg.jitter
+    )
+    network = SimulatedNetwork(sim, _build_topology(cfg), link)
+    params = cfg.difficulty_params()
+    oracle = MiningOracle(sim.rng, params.t0)
+    keys = [KeyPair.from_seed(f"node-{i}") for i in range(cfg.n)]
+    ctx = RunContext(
+        sim=sim,
+        network=network,
+        oracle=oracle,
+        genesis=make_genesis(),
+        params=params,
+        members=[k.public.fingerprint() for k in keys],
+    )
+    return ctx, cfg.power_profile(), keys
+
+
+def run_experiment(cfg: ExperimentConfig) -> RunResult:
+    """Run one evaluation experiment and collect its metric series."""
+    if cfg.algorithm == "pbft":
+        return _run_pbft(cfg)
+    return _run_mining(cfg)
+
+
+def _run_mining(cfg: ExperimentConfig) -> RunResult:
+    ctx, profile, keys = _build_context(cfg)
+    nodes = [
+        MiningNode(i, keys[i], ctx, cfg.mining_config(profile.powers[i]))
+        for i in range(cfg.n)
+    ]
+    attack = None
+    if cfg.vulnerable_ratio > 0:
+        attack = VulnerableNodeAttack.select(
+            ctx.network, list(range(cfg.n)), cfg.vulnerable_ratio, ctx.sim.rng
+        )
+    for node in nodes:
+        node.start()
+
+    epoch_blocks = ctx.params.epoch_length(cfg.n)
+    # Epoch-driven runs (equality/unpredictability curves) stop after a
+    # number of complete difficulty epochs; throughput runs may instead pin
+    # an absolute chain height (cheaper at n = 600, Fig. 6).
+    target_height = (
+        cfg.target_height
+        if cfg.target_height is not None
+        else cfg.epochs * epoch_blocks
+    )
+    # Observe via a non-vulnerable node so suppressed blocks don't skew the
+    # observer's view of the main chain.
+    victims = set(attack.victims) if attack else set()
+    observer = next(nodes[i] for i in range(cfg.n) if i not in victims)
+
+    ctx.sim.run(
+        until=cfg.max_sim_time,
+        max_events=cfg.max_events,
+        stop_when=lambda: observer.state.height() >= target_height,
+    )
+    if observer.state.height() < target_height:
+        raise SimulationError(
+            f"run ended at height {observer.state.height()} < {target_height} "
+            f"(raise max_sim_time/max_events)"
+        )
+
+    chain = observer.main_chain()
+    # Equality / Unpredictability track convergence from launch (the Fig. 4/5
+    # x-axis starts at epoch 0); TPS and fork statistics exclude the warmup
+    # where D_base is still calibrating to the invested power.
+    if cfg.measure_from_height is not None:
+        measure_height = min(cfg.measure_from_height, target_height - 1)
+    else:
+        measure_height = min(cfg.measure_from_epoch, cfg.epochs - 1) * epoch_blocks
+        measure_height = min(measure_height, max(0, target_height - 1))
+    measured_blocks = target_height - measure_height
+    duration = (
+        chain[target_height].header.timestamp - chain[measure_height].header.timestamp
+    )
+    complete_epochs = target_height // epoch_blocks
+    equality = equality_series(chain[: target_height + 1], ctx.members, epoch_blocks)
+    unpredictability = unpredictability_series(
+        observer.state, profile, ctx.members, complete_epochs
+    )
+    return RunResult(
+        config=cfg,
+        duration=duration,
+        committed_blocks=measured_blocks,
+        tps=committed_tps(measured_blocks, cfg.batch_size, duration),
+        equality=equality,
+        unpredictability=unpredictability,
+        fork=fork_report(observer.tree, chain, from_height=measure_height + 1),
+        network=ctx.network.stats,
+        members=list(ctx.members),
+        observer=observer,
+    )
+
+
+def _run_pbft(cfg: ExperimentConfig) -> RunResult:
+    ctx, _profile, keys = _build_context(cfg)
+    cluster = PBFTCluster(ctx, keys, PBFTConfig(batch_size=cfg.batch_size))
+    attack = None
+    if cfg.vulnerable_ratio > 0:
+        attack = VulnerableNodeAttack.select(
+            ctx.network, list(range(cfg.n)), cfg.vulnerable_ratio, ctx.sim.rng
+        )
+    cluster.start()
+    ctx.sim.run(
+        until=cfg.max_sim_time,
+        max_events=cfg.max_events,
+        stop_when=lambda: cluster.stats.rounds_committed >= cfg.pbft_rounds,
+    )
+    cluster.stop()
+    committed = cluster.stats.rounds_committed
+    if committed == 0:
+        raise SimulationError("PBFT committed no rounds (timeout too small?)")
+    duration = cluster.committed[-1].committed_at
+    epoch_blocks = ctx.params.epoch_length(cfg.n)
+    producers = cluster.committed_producers()
+    # PBFT's leader is deterministic each round: σ_p² is the round-robin
+    # constant, reported once per completed counting epoch for the Fig. 5
+    # series (or once if no epoch completed).
+    epoch_count = max(1, len(producers) // epoch_blocks)
+    return RunResult(
+        config=cfg,
+        duration=duration,
+        committed_blocks=committed,
+        tps=committed_tps(committed, cfg.batch_size, duration),
+        equality=equality_series_from_producers(producers, ctx.members, epoch_blocks),
+        unpredictability=[round_robin_probability_variance(cfg.n)] * epoch_count,
+        fork=None,  # PBFT is fork-free (footnote 14)
+        network=ctx.network.stats,
+        members=list(ctx.members),
+        pbft=cluster,
+        view_changes=cluster.stats.view_changes,
+    )

@@ -1,0 +1,105 @@
+"""Canned experiment configurations, one per paper figure.
+
+Scale note: the paper's testbed runs n = 100 (Fig. 4, 5, 7, 8, 9) and up to
+n = 600 (Fig. 6).  These canned configurations preserve every structural
+parameter (Δ = β·n, the Fig. 3 power-distribution shape, §VII-A link
+parameters) while defaulting to smaller n so the whole benchmark suite
+finishes in minutes on one machine; every scenario accepts overrides for
+full-scale replication.  EXPERIMENTS.md records which scale each reported
+number used.
+"""
+
+from __future__ import annotations
+
+from repro.sim.runner import Algorithm, ExperimentConfig
+
+#: The three PoW-family algorithms of §VII-B plus PBFT.
+ALL_ALGORITHMS: tuple[Algorithm, ...] = ("themis", "themis-lite", "pow-h", "pbft")
+POW_FAMILY: tuple[Algorithm, ...] = ("themis", "themis-lite", "pow-h")
+
+
+def equality_scenario(
+    algorithm: Algorithm, seed: int = 0, n: int = 40, epochs: int = 12
+) -> ExperimentConfig:
+    """Fig. 4 / Fig. 5: σ_f² and σ_p² against epochs (one run serves both)."""
+    return ExperimentConfig(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        epochs=epochs,
+        pbft_rounds=n * 8 * 2,  # two counting epochs of committed rounds
+    )
+
+
+def scalability_scenario(
+    algorithm: Algorithm, n: int, seed: int = 0
+) -> ExperimentConfig:
+    """Fig. 6: TPS against consensus node count.
+
+    Scalability runs use uniform power (the converged regime where every
+    node invests the minimum ``H0``) so the initial ``D_base`` of Eq. 7 is
+    exactly calibrated at every ``n`` and TPS differences reflect the
+    network, not bootstrap transients.  A fixed chain-height window keeps
+    the 600-node points tractable.
+    """
+    return ExperimentConfig(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        power="uniform",
+        target_height=90,
+        measure_from_height=30,
+        pbft_rounds=24,
+        # 6500 tx/block at I0 = 10 s puts the PoW-family plateau at the
+        # paper's ~650 TPS; PBFT's leader-bandwidth bound is batch-invariant.
+        batch_size=6500,
+    )
+
+
+def attack_scenario(
+    algorithm: Algorithm, vulnerable_ratio: float, seed: int = 0, n: int = 40
+) -> ExperimentConfig:
+    """Fig. 7: TPS against vulnerable-node ratio (paper: n = 100)."""
+    return ExperimentConfig(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        epochs=4,
+        pbft_rounds=60,
+        vulnerable_ratio=vulnerable_ratio,
+    )
+
+
+def fork_scenario(algorithm: Algorithm, seed: int = 0, n: int = 40) -> ExperimentConfig:
+    """Fig. 8: fork rate / duration under identical difficulty settings."""
+    return ExperimentConfig(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        epochs=6,
+        # A short block interval stresses fork handling: the relative
+        # ordering PoW-H < Themis < Themis-Lite is what Fig. 8 reports.
+        i0=4.0,
+    )
+
+
+def epoch_length_scenario(
+    beta: float, seed: int = 0, n: int = 20, height_factor: int = 96
+) -> ExperimentConfig:
+    """Fig. 9: stable σ_f² against β = Δ/n for Themis.
+
+    The paper compares "at the same block height" (§VII-D), which is what
+    produces the U-shape: small β suffers binomial sampling noise (the
+    counting window is short), while large β has completed few adjustment
+    epochs by that height, so convergence is still in progress.  Every β
+    therefore runs to the same total height ``height_factor·n`` and the
+    stable value averages the last 5 of its own epochs.
+    """
+    epochs = max(3, round(height_factor / beta))
+    return ExperimentConfig(
+        algorithm="themis",
+        n=n,
+        seed=seed,
+        epochs=epochs,
+        beta=beta,
+    )

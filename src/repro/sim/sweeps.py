@@ -1,0 +1,91 @@
+"""Seed sweeps and aggregation.
+
+Single simulation runs carry Poisson noise (fork losses, binomial frequency
+counts); publication-grade numbers need several seeds and an uncertainty
+estimate.  :func:`seed_sweep` runs one configuration across seeds and
+:class:`SweepSummary` aggregates any scalar metric with mean / median /
+95 % normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.runner import ExperimentConfig, RunResult, run_experiment
+
+#: Extracts a scalar from a run, e.g. ``lambda r: r.tps``.
+MetricFn = Callable[[RunResult], float]
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Aggregate of one scalar metric across seeds."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SimulationError("summary needs at least one value")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean (95 % by default)."""
+        half = z * self.std / np.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def format(self, unit: str = "") -> str:
+        lo, hi = self.confidence_interval()
+        return (
+            f"{self.mean:.4g}{unit} (median {self.median:.4g}, "
+            f"95% CI [{lo:.4g}, {hi:.4g}], n={self.n})"
+        )
+
+
+def seed_sweep(
+    base: ExperimentConfig, seeds: Sequence[int]
+) -> list[RunResult]:
+    """Run one configuration across several seeds."""
+    if not seeds:
+        raise SimulationError("need at least one seed")
+    return [run_experiment(replace(base, seed=seed)) for seed in seeds]
+
+
+def summarize(results: Sequence[RunResult], metric: MetricFn) -> SweepSummary:
+    """Aggregate a scalar metric over sweep results."""
+    return SweepSummary(tuple(float(metric(r)) for r in results))
+
+
+def compare_algorithms(
+    base: ExperimentConfig,
+    algorithms: Sequence[str],
+    seeds: Sequence[int],
+    metric: MetricFn,
+) -> dict[str, SweepSummary]:
+    """Sweep several algorithms under one configuration and aggregate."""
+    out: dict[str, SweepSummary] = {}
+    for algorithm in algorithms:
+        cfg = replace(base, algorithm=algorithm)  # type: ignore[arg-type]
+        out[algorithm] = summarize(seed_sweep(cfg, seeds), metric)
+    return out

@@ -1,0 +1,87 @@
+"""Transaction workload generation.
+
+Two regimes:
+
+* **Saturated virtual load** — the TPS benchmarks (Fig. 6, Fig. 7) run with
+  every block full at ``batch_size`` transactions, the standard throughput-
+  benchmark regime; no generator is needed (see
+  :func:`repro.sim.metrics.committed_tps`).
+
+* **Real signed transactions** — :class:`TransactionWorkload` drives a fleet
+  of :class:`~repro.node.node.FullNode` with §VII-A-shaped 512-byte signed
+  transfers arriving as a Poisson process, for the ledger-integration
+  examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import TX_SIZE, Transaction, make_transaction
+from repro.crypto.keys import KeyPair
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+from repro.node.node import FullNode
+
+
+@dataclass
+class TransactionWorkload:
+    """Poisson arrivals of signed transfers between consortium members.
+
+    Attributes:
+        sim: the run's simulator (supplies time and randomness).
+        nodes: the full nodes; each arrival picks a uniform sender node and a
+            uniform recipient member.
+        rate: network-wide offered load in transactions per second.
+        amount: value transferred per transaction.
+    """
+
+    sim: Simulator
+    nodes: list[FullNode]
+    rate: float
+    amount: int = 1
+    submitted: list[Transaction] = field(default_factory=list)
+    _running: bool = False
+
+    def start(self) -> None:
+        """Begin generating arrivals."""
+        if self.rate <= 0:
+            raise SimulationError("workload rate must be positive")
+        if not self.nodes:
+            raise SimulationError("workload needs at least one node")
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating (in-flight transactions still land)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self.sim.schedule(self.sim.exponential(self.rate), self._arrival)
+
+    def _arrival(self) -> None:
+        if not self._running:
+            return
+        rng = self.sim.rng
+        sender = self.nodes[int(rng.integers(len(self.nodes)))]
+        members = sender.members_fn()
+        recipient = members[int(rng.integers(len(members)))]
+        tx = sender.pay(recipient, self.amount)
+        self.submitted.append(tx)
+        self._schedule_next()
+
+
+def make_transfer_batch(
+    sender: KeyPair,
+    recipient: bytes,
+    count: int,
+    start_nonce: int = 0,
+    amount: int = 1,
+) -> list[Transaction]:
+    """Pre-sign a batch of §VII-A transactions (512 bytes each)."""
+    return [
+        make_transaction(sender, recipient, amount, start_nonce + i, pad_to=TX_SIZE)
+        for i in range(count)
+    ]

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import Block, build_block
+from repro.chain.blocktree import BlockTree
+from repro.chain.genesis import make_genesis
+from repro.crypto.keys import KeyPair
+
+#: Deterministic keypairs reused across tests (derivation is ~25 ms each, so
+#: they are built once per session).
+_KEY_CACHE: dict[int, KeyPair] = {}
+
+
+def keypair(index: int) -> KeyPair:
+    """The canonical test keypair for node ``index``."""
+    if index not in _KEY_CACHE:
+        _KEY_CACHE[index] = KeyPair.from_seed(f"test-node-{index}")
+    return _KEY_CACHE[index]
+
+
+@pytest.fixture(scope="session")
+def keys() -> list[KeyPair]:
+    """Eight deterministic keypairs."""
+    return [keypair(i) for i in range(8)]
+
+
+@pytest.fixture()
+def genesis() -> Block:
+    return make_genesis()
+
+
+class TreeBuilder:
+    """Convenience builder for hand-crafted block trees in tests.
+
+    Blocks are produced with ``difficulty_multiple = base_difficulty = 1``
+    and unsigned unless requested; arrival times default to the block
+    timestamp.
+    """
+
+    def __init__(self, genesis_block: Block, finality_window: int | None = None):
+        self.genesis = genesis_block
+        self.tree = BlockTree(genesis_block, finality_window=finality_window)
+        self._clock = 0.0
+
+    def extend(
+        self,
+        parent: Block,
+        producer_index: int,
+        timestamp: float | None = None,
+        arrival: float | None = None,
+        epoch: int = 0,
+        multiple: float = 1.0,
+        base: float = 1.0,
+    ) -> Block:
+        """Append a block produced by ``producer_index`` onto ``parent``."""
+        self._clock += 1.0
+        ts = timestamp if timestamp is not None else self._clock
+        block = build_block(
+            keypair(producer_index),
+            parent.block_id,
+            parent.height + 1,
+            [],
+            ts,
+            multiple,
+            base,
+            epoch,
+        )
+        self.tree.add_block(block, arrival if arrival is not None else ts)
+        return block
+
+    def chain(self, parent: Block, producer_indices: list[int]) -> list[Block]:
+        """Append a linear chain of blocks, one per producer index."""
+        blocks = []
+        for index in producer_indices:
+            parent = self.extend(parent, index)
+            blocks.append(parent)
+        return blocks
+
+
+@pytest.fixture()
+def tree_builder(genesis) -> TreeBuilder:
+    return TreeBuilder(genesis)

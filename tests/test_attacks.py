@@ -1,0 +1,140 @@
+"""Tests for attack models: vulnerable nodes, selfish mining, 51 % races."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.consensus.powfamily import themis_config
+from repro.errors import SimulationError
+from repro.sim.attacks import (
+    SelfishMiner,
+    VulnerableNodeAttack,
+    nakamoto_catch_up_probability,
+    private_chain_race,
+)
+
+from tests.conftest import keypair
+from tests.test_powfamily import make_fleet, run_to_height
+
+
+class TestVulnerableNodes:
+    def test_selection_respects_ratio(self):
+        ctx, nodes = make_fleet(4)
+        attack = VulnerableNodeAttack.select(
+            ctx.network, list(range(4)), 0.5, np.random.default_rng(0)
+        )
+        assert len(attack.victims) == 2
+
+    def test_ratio_validation(self):
+        ctx, nodes = make_fleet(4)
+        with pytest.raises(SimulationError):
+            VulnerableNodeAttack.select(
+                ctx.network, list(range(4)), 1.5, np.random.default_rng(0)
+            )
+
+    def test_victim_blocks_never_land(self):
+        ctx, nodes = make_fleet(4, seed=8)
+        attack = VulnerableNodeAttack(network=ctx.network, victims=[0])
+        attack.arm()
+        run_to_height(ctx, nodes, 20)
+        victim_addr = nodes[0].address
+        # The victim produced blocks locally but none reached peers' chains.
+        chain = nodes[1].main_chain()
+        producers = {b.producer for b in chain[1:]}
+        assert victim_addr not in producers
+        assert nodes[0].stats.blocks_produced > 0
+
+    def test_consensus_survives_attack(self):
+        """§VII-D: other nodes continue the consensus on schedule."""
+        ctx, nodes = make_fleet(4, seed=8)
+        VulnerableNodeAttack(network=ctx.network, victims=[0]).arm()
+        run_to_height(ctx, nodes, 20)
+        assert nodes[1].state.height() >= 19
+
+    def test_disarm_restores(self):
+        ctx, nodes = make_fleet(4, seed=8)
+        attack = VulnerableNodeAttack(network=ctx.network, victims=[0])
+        attack.arm()
+        attack.disarm()
+        run_to_height(ctx, nodes, 15)
+        producers = {b.producer for b in nodes[1].main_chain()[1:]}
+        assert nodes[0].address in producers
+
+
+class TestSelfishMiner:
+    def _fleet_with_attacker(self, seed=3, attacker_power=3.0):
+        from repro.consensus.base import RunContext
+
+        ctx, nodes = make_fleet(4, seed=seed)
+        # Replace node 0 with a selfish miner of outsized power.
+        ctx.network.detach(0)
+        attacker = SelfishMiner(
+            0,
+            keypair(0),
+            ctx,
+            themis_config(hash_rate=attacker_power),
+            release_lead=1,
+        )
+        nodes[0] = attacker
+        return ctx, nodes, attacker
+
+    def test_attacker_withholds(self):
+        ctx, nodes, attacker = self._fleet_with_attacker()
+        for node in nodes:
+            node.start()
+        ctx.sim.run(
+            stop_when=lambda: attacker.withheld_count >= 1, max_events=2_000_000
+        )
+        assert attacker.withheld_count >= 1
+        # Peers have not seen the withheld block.
+        assert nodes[1].state.height() < attacker.state.height()
+
+    def test_release_publishes_all(self):
+        ctx, nodes, attacker = self._fleet_with_attacker()
+        for node in nodes:
+            node.start()
+        ctx.sim.run(
+            stop_when=lambda: attacker.withheld_count >= 2, max_events=2_000_000
+        )
+        withheld = attacker.withheld_count
+        attacker.release()
+        assert attacker.withheld_count == 0
+        ctx.sim.run(until=ctx.sim.now + 5.0)
+        # Peers received the private chain blocks.
+        assert nodes[1].tree.has_block(attacker.state.head_id) or withheld == 0
+
+
+class TestPrivateChainRace:
+    def test_zero_power_never_wins(self):
+        rng = np.random.default_rng(0)
+        assert private_chain_race(0.0, 2, trials=200, rng=rng) == 0.0
+
+    def test_probability_decreases_with_depth(self):
+        rng = np.random.default_rng(1)
+        shallow = private_chain_race(0.4, 0, trials=3000, rng=rng)
+        deep = private_chain_race(0.4, 6, trials=3000, rng=rng)
+        assert deep < shallow
+
+    def test_matches_nakamoto_closed_form(self):
+        """Prop. 2 backbone: empirical race ≈ q^(z+1)."""
+        rng = np.random.default_rng(2)
+        for q, z in ((0.3, 2), (0.5, 3)):
+            empirical = private_chain_race(q, z, trials=20_000, rng=rng)
+            analytic = nakamoto_catch_up_probability(q, z)
+            assert empirical == pytest.approx(analytic, abs=0.02)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            private_chain_race(1.0, 2, trials=10, rng=rng)
+        with pytest.raises(SimulationError):
+            private_chain_race(0.5, -1, trials=10, rng=rng)
+        with pytest.raises(SimulationError):
+            private_chain_race(0.5, 1, trials=0, rng=rng)
+        with pytest.raises(SimulationError):
+            nakamoto_catch_up_probability(1.2, 3)
+
+    def test_closed_form_values(self):
+        assert nakamoto_catch_up_probability(0.5, 0) == 0.5
+        assert nakamoto_catch_up_probability(0.5, 5) == pytest.approx(0.5**6)

@@ -1,0 +1,163 @@
+"""Tests for the header-chain auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.audit import ChainAuditor
+from repro.chain.block import Block, build_block
+from repro.core.difficulty import DifficultyParams
+from repro.errors import ChainError
+
+from tests.conftest import keypair
+from tests.test_powfamily import make_fleet, run_to_height
+
+
+def members(count: int) -> list[bytes]:
+    return [keypair(i).public.fingerprint() for i in range(count)]
+
+
+@pytest.fixture(scope="module")
+def simulated_chain():
+    """A real simulated Themis chain plus its deployment parameters."""
+    ctx, nodes = make_fleet(4, seed=13, beta=2.0, i0=5.0)
+    run_to_height(ctx, nodes, 30)
+    chain = nodes[0].main_chain()[:31]
+    return ctx, chain
+
+
+class TestCleanChains:
+    def test_simulated_chain_passes_audit(self, simulated_chain):
+        """Every chain our own consensus produces must audit clean."""
+        ctx, chain = simulated_chain
+        auditor = ChainAuditor(ctx.members, ctx.params)
+        report = auditor.audit(chain)
+        assert report.ok, report.findings[:3]
+        assert report.blocks_checked == 30
+        assert report.tables_derived >= 3  # Δ = 8, 30 blocks => 3 boundaries
+
+    def test_summary_text(self, simulated_chain):
+        ctx, chain = simulated_chain
+        report = ChainAuditor(ctx.members, ctx.params).audit(chain)
+        assert "CLEAN" in report.summary()
+
+    def test_requires_genesis_start(self, simulated_chain):
+        ctx, chain = simulated_chain
+        auditor = ChainAuditor(ctx.members, ctx.params)
+        with pytest.raises(ChainError):
+            auditor.audit(chain[1:])
+
+
+class TestViolationsDetected:
+    def _auditor(self, ctx) -> ChainAuditor:
+        return ChainAuditor(ctx.members, ctx.params)
+
+    def test_detects_non_member_producer(self, simulated_chain):
+        ctx, chain = simulated_chain
+        intruder = build_block(
+            keypair(7),
+            chain[5].block_id,
+            6,
+            [],
+            chain[5].header.timestamp + 1,
+            chain[6].header.difficulty_multiple,
+            chain[6].header.base_difficulty,
+            chain[6].header.epoch,
+        )
+        tampered = list(chain[:6]) + [intruder] + list(chain[7:])
+        report = self._auditor(ctx).audit(tampered[:8])
+        assert any(f.check == "membership" for f in report.findings)
+
+    def test_detects_wrong_multiple(self, simulated_chain):
+        ctx, chain = simulated_chain
+        victim = chain[12]
+        forged_header = victim.header
+        forged = build_block(
+            keypair(0),  # whoever — multiple won't match the table
+            forged_header.parent_hash,
+            forged_header.height,
+            [],
+            forged_header.timestamp,
+            forged_header.difficulty_multiple * 7.0,
+            forged_header.base_difficulty,
+            forged_header.epoch,
+        )
+        tampered = list(chain[:12]) + [forged]
+        report = self._auditor(ctx).audit(tampered)
+        assert any(
+            f.check == "difficulty" and "multiple" in f.detail
+            for f in report.findings
+        )
+
+    def test_detects_broken_linkage(self, simulated_chain):
+        ctx, chain = simulated_chain
+        shuffled = list(chain[:5]) + [chain[7]]
+        report = self._auditor(ctx).audit(shuffled)
+        assert any(f.check == "linkage" for f in report.findings)
+
+    def test_detects_decreasing_timestamp(self, simulated_chain):
+        ctx, chain = simulated_chain
+        back_in_time = build_block(
+            keypair(1),
+            chain[3].block_id,
+            4,
+            [],
+            chain[3].header.timestamp - 50.0,
+            chain[4].header.difficulty_multiple,
+            chain[4].header.base_difficulty,
+            chain[4].header.epoch,
+        )
+        # Producer/multiple may mismatch too; look specifically for timestamp.
+        report = self._auditor(ctx).audit(list(chain[:4]) + [back_in_time])
+        assert any(f.check == "timestamp" for f in report.findings)
+
+    def test_signature_requirement(self, simulated_chain):
+        ctx, chain = simulated_chain
+        auditor = ChainAuditor(ctx.members, ctx.params, require_signatures=True)
+        report = auditor.audit(chain)
+        # Simulation blocks are unsigned: every block flagged.
+        assert sum(1 for f in report.findings if f.check == "signature") == 30
+
+
+class TestRealPoWAudit:
+    def test_real_pow_chain_passes_with_pow_check(self):
+        from repro.chain.genesis import make_genesis
+        from repro.consensus.base import RunContext
+        from repro.consensus.powfamily import MiningNode, MiningNodeConfig
+        from repro.crypto.hashing import EASY_T0
+        from repro.mining.oracle import MiningOracle
+        from repro.net.latency import LinkModel
+        from repro.net.network import SimulatedNetwork
+        from repro.net.simulator import Simulator
+        from repro.net.topology import complete_topology
+
+        n = 3
+        sim = Simulator(seed=4)
+        network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+        params = DifficultyParams(t0=EASY_T0, i0=4.0, h0=1.0, beta=2.0)
+        keys = [keypair(i) for i in range(n)]
+        ctx = RunContext(
+            sim=sim,
+            network=network,
+            oracle=MiningOracle(sim.rng, params.t0),
+            genesis=make_genesis(),
+            params=params,
+            members=[k.public.fingerprint() for k in keys],
+        )
+        config = MiningNodeConfig(
+            rule_kind="geost",
+            adaptive=True,
+            sign_blocks=True,
+            verify_signatures=True,
+            real_pow=True,
+        )
+        nodes = [MiningNode(i, keys[i], ctx, config) for i in range(n)]
+        for node in nodes:
+            node.start()
+        sim.run(stop_when=lambda: nodes[0].state.height() >= 10, max_events=500_000)
+        chain = nodes[0].main_chain()[:11]
+        auditor = ChainAuditor(
+            ctx.members, params, check_pow=True, require_signatures=True
+        )
+        report = auditor.audit(chain)
+        assert report.ok, report.findings[:3]

@@ -1,0 +1,42 @@
+"""Audit of non-adaptive (PoW-H) chains and cross-mode detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.audit import ChainAuditor
+from repro.consensus.powfamily import powh_config
+
+from tests.test_powfamily import make_fleet, run_to_height
+
+
+@pytest.fixture(scope="module")
+def powh_chain():
+    configs = [powh_config(hash_rate=1.0) for _ in range(4)]
+    ctx, nodes = make_fleet(4, configs=configs, seed=14, beta=2.0, i0=5.0)
+    run_to_height(ctx, nodes, 24)
+    return ctx, nodes[0].main_chain()[:25]
+
+
+class TestPoWHAudit:
+    def test_powh_chain_passes_non_adaptive_audit(self, powh_chain):
+        ctx, chain = powh_chain
+        auditor = ChainAuditor(ctx.members, ctx.params, adaptive=False)
+        report = auditor.audit(chain)
+        assert report.ok, report.findings[:3]
+
+    def test_powh_chain_fails_adaptive_audit(self, powh_chain):
+        """Auditing a PoW-H chain with adaptive rules flags the multiples:
+        Eq. 6 would have raised over-producers' multiples above 1."""
+        ctx, chain = powh_chain
+        auditor = ChainAuditor(ctx.members, ctx.params, adaptive=True)
+        report = auditor.audit(chain)
+        assert not report.ok
+        assert any(
+            f.check == "difficulty" and "multiple" in f.detail
+            for f in report.findings
+        )
+
+    def test_all_multiples_one_on_powh_chain(self, powh_chain):
+        _, chain = powh_chain
+        assert all(b.header.difficulty_multiple == 1.0 for b in chain[1:])

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "themis"
+        assert args.nodes == 24
+
+    def test_algorithm_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-a", "raft"])
+
+    def test_figure_name_positional(self):
+        args = build_parser().parse_args(["figure", "fig4", "-n", "10"])
+        assert args.name == "fig4"
+        assert args.nodes == 10
+
+
+class TestCommands:
+    def test_run_command(self, capsys, tmp_path):
+        save = tmp_path / "record.json"
+        code = main(
+            [
+                "run",
+                "-a",
+                "themis",
+                "-n",
+                "8",
+                "--epochs",
+                "2",
+                "--seed",
+                "1",
+                "--save",
+                str(save),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "themis" in out
+        assert "sigma_f^2" in out
+        assert save.exists()
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "-n", "8", "--epochs", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("themis", "themis-lite", "pow-h", "pbft"):
+            assert name in out
+
+    def test_figure_fig9(self, capsys):
+        code = main(["figure", "fig9", "-n", "8", "--epochs", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stable" in out
+
+    def test_unknown_figure(self, capsys):
+        code = main(["figure", "fig99", "-n", "8"])
+        assert code == 2

@@ -1,0 +1,82 @@
+"""Tests for the confirmation-policy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.confirmation import (
+    ConfirmationPolicy,
+    latency_table,
+    required_confirmations,
+)
+from repro.errors import SimulationError
+from repro.sim.attacks import nakamoto_catch_up_probability
+
+
+class TestRequiredConfirmations:
+    def test_no_attacker_no_confirmations(self):
+        assert required_confirmations(0.0, 0.01) == 0
+
+    def test_satisfies_target(self):
+        for q in (0.1, 0.3, 0.5, 0.9):
+            for target in (0.1, 0.01, 1e-6):
+                z = required_confirmations(q, target)
+                assert nakamoto_catch_up_probability(q, z) <= target + 1e-15
+
+    def test_minimality(self):
+        """One fewer confirmation would violate the target."""
+        for q in (0.3, 0.5, 0.8):
+            target = 1e-4
+            z = required_confirmations(q, target)
+            if z > 0:
+                assert nakamoto_catch_up_probability(q, z - 1) > target
+
+    def test_monotone_in_attacker_strength(self):
+        zs = [required_confirmations(q, 0.001) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert zs == sorted(zs)
+
+    def test_known_values(self):
+        # q=0.5, target 1e-3: 0.5^(z+1) <= 1e-3 -> z+1 >= 9.97 -> z = 9.
+        assert required_confirmations(0.5, 1e-3) == 9
+        # q=0.1: 0.1^(z+1) <= 1e-3 -> z = 2.
+        assert required_confirmations(0.1, 1e-3) == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            required_confirmations(1.0, 0.01)
+        with pytest.raises(SimulationError):
+            required_confirmations(0.5, 0.0)
+        with pytest.raises(SimulationError):
+            required_confirmations(0.5, 1.0)
+
+
+class TestPolicy:
+    def test_latency(self):
+        policy = ConfirmationPolicy(0.5, 1e-3, block_interval=10.0)
+        assert policy.confirmations == 9
+        assert policy.expected_latency == 90.0
+
+    def test_achieved_probability_below_target(self):
+        policy = ConfirmationPolicy(0.4, 1e-4, block_interval=10.0)
+        assert policy.actual_revert_probability() <= 1e-4
+
+    def test_describe(self):
+        text = ConfirmationPolicy(0.3, 1e-3, 10.0).describe()
+        assert "confirmations" in text and "q=0.30" in text
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ConfirmationPolicy(0.5, 1e-3, block_interval=0.0)
+
+    def test_consortium_beats_bitcoin_latency(self):
+        """The §V-A point: with a weak assumed attacker (consortium, known
+        members) confirmation latency is far below Bitcoin's ~1 h."""
+        consortium = ConfirmationPolicy(0.2, 1e-6, block_interval=10.0)
+        assert consortium.expected_latency < 600  # minutes, not an hour
+
+
+class TestLatencyTable:
+    def test_rows_align(self):
+        rows = latency_table([0.1, 0.5], target=1e-3, block_interval=10.0)
+        assert rows[0][1] == 2 and rows[0][2] == 20.0
+        assert rows[1][1] == 9 and rows[1][2] == 90.0

@@ -1,0 +1,48 @@
+"""Tests for the library fleet builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.powfamily import powh_config, themis_config
+from repro.errors import SimulationError
+from repro.sim.fleet import build_mining_fleet, run_fleet_to_height
+
+
+class TestBuildFleet:
+    def test_default_fleet_runs(self):
+        ctx, nodes = build_mining_fleet(4, seed=3, beta=2.0, i0=5.0)
+        run_fleet_to_height(ctx, nodes, 12)
+        assert nodes[0].state.height() >= 12
+
+    def test_calibrated_initial_interval(self):
+        """With default calibration, epoch 0 already tracks I0."""
+        configs = [themis_config(hash_rate=h) for h in (50.0, 2.0, 1.0, 1.0)]
+        ctx, nodes = build_mining_fleet(4, configs=configs, seed=3, beta=2.0, i0=8.0)
+        run_fleet_to_height(ctx, nodes, 8)
+        chain = nodes[0].main_chain()
+        interval = (chain[8].header.timestamp - chain[0].header.timestamp) / 8
+        assert interval == pytest.approx(8.0, rel=0.7)  # Poisson noise over 8 blocks
+
+    def test_mixed_configs(self):
+        configs = [powh_config(hash_rate=1.0) for _ in range(3)] + [
+            themis_config(hash_rate=1.0)
+        ]
+        ctx, nodes = build_mining_fleet(4, configs=configs, seed=1)
+        assert nodes[0].config.adaptive is False
+        assert nodes[3].config.adaptive is True
+
+    def test_large_fleet_uses_regular_overlay(self):
+        ctx, nodes = build_mining_fleet(20, seed=1, degree=4)
+        assert all(len(peers) == 4 for peers in ctx.network.adjacency.values())
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            build_mining_fleet(1)
+        with pytest.raises(SimulationError):
+            build_mining_fleet(4, configs=[themis_config()])
+
+    def test_stall_raises(self):
+        ctx, nodes = build_mining_fleet(4, seed=1)
+        with pytest.raises(SimulationError):
+            run_fleet_to_height(ctx, nodes, 10**6, max_events=1000)

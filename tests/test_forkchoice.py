@@ -1,0 +1,91 @@
+"""Tests for the longest-chain and GHOST rules."""
+
+from __future__ import annotations
+
+from repro.chain.forkchoice import GHOSTRule, LongestChainRule
+
+
+class TestLongestChain:
+    def test_follows_single_chain(self, tree_builder):
+        blocks = tree_builder.chain(tree_builder.genesis, [0, 1, 2])
+        assert LongestChainRule().head(tree_builder.tree) == blocks[-1].block_id
+
+    def test_picks_taller_branch(self, tree_builder):
+        short = tree_builder.extend(tree_builder.genesis, 0)
+        tall_base = tree_builder.extend(tree_builder.genesis, 1)
+        tall_tip = tree_builder.extend(tall_base, 1)
+        assert LongestChainRule().head(tree_builder.tree) == tall_tip.block_id
+
+    def test_tie_broken_by_first_received(self, tree_builder):
+        first = tree_builder.extend(tree_builder.genesis, 0)
+        tree_builder.extend(tree_builder.genesis, 1)  # same height, later
+        assert LongestChainRule().head(tree_builder.tree) == first.block_id
+
+    def test_ignores_heavy_but_short_subtree(self, tree_builder):
+        # Branch A: 3 blocks wide at height 2 (heavy, short).
+        a = tree_builder.extend(tree_builder.genesis, 0)
+        for producer in (1, 2, 3):
+            tree_builder.extend(a, producer)
+        # Branch B: a thin chain of height 4 (light, tall).
+        b1 = tree_builder.extend(tree_builder.genesis, 4)
+        b2 = tree_builder.extend(b1, 4)
+        b3 = tree_builder.extend(b2, 4)
+        b4 = tree_builder.extend(b3, 4)
+        assert LongestChainRule().head(tree_builder.tree) == b4.block_id
+
+    def test_main_chain_returns_blocks(self, tree_builder):
+        blocks = tree_builder.chain(tree_builder.genesis, [0, 1])
+        chain = LongestChainRule().main_chain(tree_builder.tree)
+        assert [b.block_id for b in chain[1:]] == [b.block_id for b in blocks]
+
+
+class TestGHOST:
+    def test_follows_single_chain(self, tree_builder):
+        blocks = tree_builder.chain(tree_builder.genesis, [0, 1, 2])
+        assert GHOSTRule().head(tree_builder.tree) == blocks[-1].block_id
+
+    def test_picks_heavier_subtree_over_taller(self, tree_builder):
+        # Heavy subtree: root + 3 children (weight 4) but height 2.
+        heavy = tree_builder.extend(tree_builder.genesis, 0)
+        heavy_children = [tree_builder.extend(heavy, p) for p in (1, 2, 3)]
+        # Tall subtree: linear chain of 3 (weight 3, height 3).
+        t1 = tree_builder.extend(tree_builder.genesis, 4)
+        t2 = tree_builder.extend(t1, 4)
+        tree_builder.extend(t2, 4)
+        head = GHOSTRule().head(tree_builder.tree)
+        assert head == heavy_children[0].block_id  # first-received child of heavy
+
+    def test_tie_broken_by_first_received(self, tree_builder):
+        first = tree_builder.extend(tree_builder.genesis, 0)
+        tree_builder.extend(tree_builder.genesis, 1)
+        assert GHOSTRule().head(tree_builder.tree) == first.block_id
+
+    def test_resists_private_longest_chain(self, tree_builder):
+        """The Fig. 2 selfish-mining shape: an attacker's longer private
+        chain hijacks longest-chain but not GHOST.
+
+        Honest nodes build a bushy subtree (forks included, 5 blocks, height
+        3); the attacker privately mines a thin chain of height 4.  The
+        honest subtree is heavier, so GHOST keeps it; the attacker chain is
+        taller, so longest-chain switches to it.
+        """
+        h1 = tree_builder.extend(tree_builder.genesis, 0)
+        h2a = tree_builder.extend(h1, 1)
+        h2b = tree_builder.extend(h1, 2)
+        h2c = tree_builder.extend(h1, 3)
+        h3 = tree_builder.extend(h2a, 1)
+        # Attacker: thin private chain from genesis, height 4.
+        a1 = tree_builder.extend(tree_builder.genesis, 5)
+        a2 = tree_builder.extend(a1, 5)
+        a3 = tree_builder.extend(a2, 5)
+        a4 = tree_builder.extend(a3, 5)
+        longest = LongestChainRule().head(tree_builder.tree)
+        ghost = GHOSTRule().head(tree_builder.tree)
+        assert longest == a4.block_id  # attacker wins the height race
+        assert ghost == h3.block_id  # honest subtree is heavier (5 vs 4)
+
+    def test_head_start_parameter(self, tree_builder):
+        a = tree_builder.extend(tree_builder.genesis, 0)
+        b = tree_builder.extend(a, 1)
+        c = tree_builder.extend(b, 2)
+        assert GHOSTRule().head(tree_builder.tree, start=b.block_id) == c.block_id

@@ -1,0 +1,162 @@
+"""Tests for the pure-Python secp256k1 ECDSA implementation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import (
+    GX,
+    GY,
+    N,
+    P,
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    _point_add,
+    _point_mul,
+    ecdsa_sign,
+    ecdsa_verify,
+)
+from repro.errors import CryptoError
+
+from tests.conftest import keypair
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert (GY * GY - GX**3 - 7) % P == 0
+
+    def test_generator_order(self):
+        assert _point_mul(N, (GX, GY)) is None
+
+    def test_point_addition_identity(self):
+        assert _point_add(None, (GX, GY)) == (GX, GY)
+        assert _point_add((GX, GY), None) == (GX, GY)
+
+    def test_point_plus_negation_is_infinity(self):
+        assert _point_add((GX, GY), (GX, P - GY)) is None
+
+    def test_scalar_mul_distributes(self):
+        g = (GX, GY)
+        assert _point_mul(5, g) == _point_add(_point_mul(2, g), _point_mul(3, g))
+
+
+class TestKeys:
+    def test_from_seed_deterministic(self):
+        assert PrivateKey.from_seed("alpha") == PrivateKey.from_seed("alpha")
+        assert PrivateKey.from_seed("alpha") != PrivateKey.from_seed("beta")
+
+    def test_seed_types(self):
+        assert PrivateKey.from_seed(b"x").secret > 0
+        assert PrivateKey.from_seed(42).secret > 0
+
+    def test_scalar_range_enforced(self):
+        with pytest.raises(CryptoError):
+            PrivateKey(0)
+        with pytest.raises(CryptoError):
+            PrivateKey(N)
+
+    def test_public_key_on_curve_enforced(self):
+        with pytest.raises(CryptoError):
+            PublicKey(1, 1)
+
+    def test_compressed_roundtrip(self):
+        public = keypair(0).public
+        recovered = PublicKey.from_bytes(public.to_bytes())
+        assert recovered == public
+
+    def test_compressed_length_and_prefix(self):
+        data = keypair(1).public.to_bytes()
+        assert len(data) == 33
+        assert data[0] in (2, 3)
+
+    def test_bad_compressed_rejected(self):
+        with pytest.raises(CryptoError):
+            PublicKey.from_bytes(b"\x05" + b"\x00" * 32)
+        with pytest.raises(CryptoError):
+            PublicKey.from_bytes(b"\x02" + b"\x00" * 10)
+
+    def test_off_curve_x_rejected(self):
+        # x = 5 has no square-root y on secp256k1.
+        with pytest.raises(CryptoError):
+            PublicKey.from_bytes(b"\x02" + (5).to_bytes(32, "big"))
+
+    def test_private_bytes_roundtrip(self):
+        private = keypair(2).private
+        assert PrivateKey.from_bytes(private.to_bytes()) == private
+
+    def test_fingerprint_is_20_bytes_and_stable(self):
+        fp = keypair(0).public.fingerprint()
+        assert len(fp) == 20
+        assert fp == keypair(0).public.fingerprint()
+
+
+class TestSignatures:
+    def test_sign_verify(self):
+        kp = keypair(0)
+        digest = sha256(b"message")
+        sig = ecdsa_sign(kp.private, digest)
+        assert ecdsa_verify(kp.public, digest, sig)
+
+    def test_deterministic_rfc6979(self):
+        kp = keypair(0)
+        digest = sha256(b"message")
+        assert ecdsa_sign(kp.private, digest) == ecdsa_sign(kp.private, digest)
+
+    def test_different_messages_different_signatures(self):
+        kp = keypair(0)
+        assert ecdsa_sign(kp.private, sha256(b"a")) != ecdsa_sign(
+            kp.private, sha256(b"b")
+        )
+
+    def test_wrong_key_fails(self):
+        digest = sha256(b"message")
+        sig = ecdsa_sign(keypair(0).private, digest)
+        assert not ecdsa_verify(keypair(1).public, digest, sig)
+
+    def test_wrong_message_fails(self):
+        kp = keypair(0)
+        sig = ecdsa_sign(kp.private, sha256(b"a"))
+        assert not ecdsa_verify(kp.public, sha256(b"b"), sig)
+
+    def test_tampered_signature_fails(self):
+        kp = keypair(0)
+        digest = sha256(b"m")
+        r, s = ecdsa_sign(kp.private, digest)
+        assert not ecdsa_verify(kp.public, digest, (r, s + 1))
+        assert not ecdsa_verify(kp.public, digest, (r + 1, s))
+
+    def test_degenerate_signature_rejected(self):
+        kp = keypair(0)
+        digest = sha256(b"m")
+        assert not ecdsa_verify(kp.public, digest, (0, 1))
+        assert not ecdsa_verify(kp.public, digest, (1, 0))
+        assert not ecdsa_verify(kp.public, digest, (N, 1))
+
+    def test_low_s_normalization(self):
+        kp = keypair(3)
+        for msg in (b"a", b"b", b"c"):
+            _, s = ecdsa_sign(kp.private, sha256(msg))
+            assert s <= N // 2
+
+    def test_bad_digest_length_rejected(self):
+        kp = keypair(0)
+        with pytest.raises(CryptoError):
+            ecdsa_sign(kp.private, b"short")
+        with pytest.raises(CryptoError):
+            ecdsa_verify(kp.public, b"short", (1, 1))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_sign_verify_property(self, message):
+        kp = keypair(4)
+        digest = sha256(message)
+        assert ecdsa_verify(kp.public, digest, ecdsa_sign(kp.private, digest))
+
+
+class TestKeyPair:
+    def test_from_seed_consistent(self):
+        kp = KeyPair.from_seed("node")
+        assert kp.public == kp.private.public_key()

@@ -1,0 +1,170 @@
+"""Tests for account state and the transaction executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import build_block
+from repro.chain.transaction import Transaction, make_transaction
+from repro.errors import LedgerError
+from repro.ledger.contract import (
+    NodeSetContract,
+    encode_propose_add,
+    encode_vote,
+)
+from repro.ledger.executor import Executor
+from repro.ledger.state import AccountState
+
+from tests.conftest import keypair
+
+
+def addr(i: int) -> bytes:
+    return keypair(i).public.fingerprint()
+
+
+class TestAccountState:
+    def test_credit_and_balance(self):
+        state = AccountState()
+        state.credit(addr(0), 100)
+        assert state.balance(addr(0)) == 100
+        assert state.balance(addr(1)) == 0
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(LedgerError):
+            AccountState().credit(addr(0), -1)
+
+    def test_transfer_moves_funds_and_bumps_nonce(self):
+        state = AccountState()
+        state.credit(addr(0), 100)
+        state.transfer(addr(0), addr(1), 30, nonce=0)
+        assert state.balance(addr(0)) == 70
+        assert state.balance(addr(1)) == 30
+        assert state.nonce(addr(0)) == 1
+
+    def test_overdraft_rejected(self):
+        state = AccountState()
+        state.credit(addr(0), 10)
+        with pytest.raises(LedgerError):
+            state.transfer(addr(0), addr(1), 11, nonce=0)
+
+    def test_stale_nonce_rejected_double_spend(self):
+        state = AccountState()
+        state.credit(addr(0), 100)
+        state.transfer(addr(0), addr(1), 10, nonce=0)
+        with pytest.raises(LedgerError):
+            state.transfer(addr(0), addr(2), 10, nonce=0)  # replay
+
+    def test_future_nonce_rejected(self):
+        state = AccountState()
+        state.credit(addr(0), 100)
+        with pytest.raises(LedgerError):
+            state.transfer(addr(0), addr(1), 10, nonce=5)
+
+    def test_copy_is_independent(self):
+        state = AccountState()
+        state.credit(addr(0), 100)
+        clone = state.copy()
+        clone.transfer(addr(0), addr(1), 50, nonce=0)
+        assert state.balance(addr(0)) == 100
+        assert state.nonce(addr(0)) == 0
+
+    def test_state_root_deterministic_and_order_free(self):
+        a = AccountState()
+        a.credit(addr(0), 1)
+        a.credit(addr(1), 2)
+        b = AccountState()
+        b.credit(addr(1), 2)
+        b.credit(addr(0), 1)
+        assert a.state_root() == b.state_root()
+
+    def test_state_root_ignores_empty_accounts(self):
+        a = AccountState()
+        a.credit(addr(0), 1)
+        b = AccountState()
+        b.credit(addr(0), 1)
+        b.get(addr(5))  # created but empty
+        assert a.state_root() == b.state_root()
+
+    def test_state_root_changes_with_state(self):
+        a = AccountState()
+        a.credit(addr(0), 1)
+        root = a.state_root()
+        a.credit(addr(0), 1)
+        assert a.state_root() != root
+
+
+class TestExecutor:
+    def _funded_state(self) -> AccountState:
+        state = AccountState()
+        for i in range(3):
+            state.credit(addr(i), 1000)
+        return state
+
+    def test_valid_transfer_executes(self):
+        state = self._funded_state()
+        tx = make_transaction(keypair(0), addr(1), 10, 0)
+        receipt = Executor().execute_transaction(state, tx)
+        assert receipt.ok
+        assert state.balance(addr(1)) == 1010
+
+    def test_unsigned_rejected_when_verifying(self):
+        state = self._funded_state()
+        tx = Transaction(addr(0), addr(1), 10, 0)
+        receipt = Executor(verify_signatures=True).execute_transaction(state, tx)
+        assert not receipt.ok
+        assert "signature" in receipt.error
+
+    def test_unsigned_allowed_when_not_verifying(self):
+        state = self._funded_state()
+        tx = Transaction(addr(0), addr(1), 10, 0)
+        assert Executor(verify_signatures=False).execute_transaction(state, tx).ok
+
+    def test_overdraft_receipt(self):
+        state = self._funded_state()
+        tx = make_transaction(keypair(0), addr(1), 10_000, 0)
+        receipt = Executor().execute_transaction(state, tx)
+        assert not receipt.ok
+        assert "overdraft" in receipt.error
+
+    def test_contract_call_routed(self):
+        state = self._funded_state()
+        contract = NodeSetContract([addr(0), addr(1), addr(2)])
+        executor = Executor()
+        executor.register(contract)
+        tx = make_transaction(
+            keypair(0), contract.address, 0, 0, payload=encode_propose_add(addr(7))
+        )
+        assert executor.execute_transaction(state, tx).ok
+        assert len(contract.open_proposals()) == 1
+
+    def test_failed_contract_call_rolls_back_transfer(self):
+        state = self._funded_state()
+        contract = NodeSetContract([addr(0), addr(1), addr(2)])
+        executor = Executor()
+        executor.register(contract)
+        # Voting on a nonexistent proposal fails in the contract.
+        tx = make_transaction(
+            keypair(0), contract.address, 5, 0, payload=encode_vote(99, True)
+        )
+        receipt = executor.execute_transaction(state, tx)
+        assert not receipt.ok
+        assert state.balance(addr(0)) == 1000  # transfer rolled back
+        assert state.balance(contract.address) == 0
+
+    def test_execute_block_all_or_nothing_flag(self):
+        state = self._funded_state()
+        good = make_transaction(keypair(0), addr(1), 10, 0)
+        bad = make_transaction(keypair(1), addr(2), 10_000, 0)
+        block = build_block(keypair(0), b"\x00" * 32, 1, [good, bad], 1.0, 1.0, 1.0, 0)
+        ok, receipts = Executor().execute_block(state, block)
+        assert not ok
+        assert [r.ok for r in receipts] == [True, False]
+
+    def test_block_nonce_ordering_within_block(self):
+        state = self._funded_state()
+        tx0 = make_transaction(keypair(0), addr(1), 10, 0)
+        tx1 = make_transaction(keypair(0), addr(1), 10, 1)
+        block = build_block(keypair(0), b"\x00" * 32, 1, [tx0, tx1], 1.0, 1.0, 1.0, 0)
+        ok, _ = Executor().execute_block(state, block)
+        assert ok
+        assert state.nonce(addr(0)) == 2

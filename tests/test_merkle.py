@@ -1,0 +1,91 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import sha256d
+from repro.crypto.merkle import (
+    EMPTY_ROOT,
+    merkle_proof,
+    merkle_root,
+    merkle_root_of_payloads,
+)
+from repro.errors import ChainError
+
+
+def _leaves(count: int) -> list[bytes]:
+    return [sha256d(bytes([i])) for i in range(count)]
+
+
+class TestRoot:
+    def test_empty_root(self):
+        assert merkle_root([]) == EMPTY_ROOT
+
+    def test_single_leaf_is_itself(self):
+        leaf = sha256d(b"tx")
+        assert merkle_root([leaf]) == leaf
+
+    def test_two_leaves(self):
+        a, b = _leaves(2)
+        assert merkle_root([a, b]) == sha256d(a + b)
+
+    def test_odd_duplicates_last(self):
+        a, b, c = _leaves(3)
+        expected = sha256d(sha256d(a + b) + sha256d(c + c))
+        assert merkle_root([a, b, c]) == expected
+
+    def test_order_sensitivity(self):
+        a, b = _leaves(2)
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(ChainError):
+            merkle_root([b"short"])
+
+    def test_payload_helper_hashes_first(self):
+        payloads = [b"tx1", b"tx2"]
+        assert merkle_root_of_payloads(payloads) == merkle_root(
+            [sha256d(p) for p in payloads]
+        )
+
+
+class TestProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_indices_verify(self, count):
+        leaves = _leaves(count)
+        root = merkle_root(leaves)
+        for index in range(count):
+            proof = merkle_proof(leaves, index)
+            assert proof.verify(root)
+
+    def test_wrong_root_fails(self):
+        leaves = _leaves(4)
+        proof = merkle_proof(leaves, 0)
+        assert not proof.verify(sha256d(b"other"))
+
+    def test_tampered_leaf_fails(self):
+        leaves = _leaves(4)
+        root = merkle_root(leaves)
+        proof = merkle_proof(leaves, 1)
+        tampered = type(proof)(leaf=sha256d(b"evil"), index=1, path=proof.path)
+        assert not tampered.verify(root)
+
+    def test_out_of_range_rejected(self):
+        leaves = _leaves(2)
+        with pytest.raises(ChainError):
+            merkle_proof(leaves, 2)
+        with pytest.raises(ChainError):
+            merkle_proof(leaves, -1)
+
+    def test_proof_depth_logarithmic(self):
+        leaves = _leaves(8)
+        assert len(merkle_proof(leaves, 0).path) == 3
+
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    def test_proof_property(self, count, data):
+        leaves = _leaves(count)
+        index = data.draw(st.integers(min_value=0, max_value=count - 1))
+        root = merkle_root(leaves)
+        assert merkle_proof(leaves, index).verify(root)

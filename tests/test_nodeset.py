@@ -1,0 +1,82 @@
+"""Tests for the engine-side node-set manager (§IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nodeset import NodeSetManager
+from repro.errors import MembershipError
+from repro.ledger.contract import (
+    ProposalKind,
+    encode_propose_add,
+    encode_propose_remove,
+    encode_vote,
+)
+
+from tests.conftest import keypair
+
+
+def addr(i: int) -> bytes:
+    return keypair(i).public.fingerprint()
+
+
+@pytest.fixture()
+def manager() -> NodeSetManager:
+    return NodeSetManager.from_members([addr(i) for i in range(4)])
+
+
+class TestViews:
+    def test_members_and_n(self, manager):
+        assert manager.n == 4
+        assert manager.is_member(addr(0))
+        assert not manager.is_member(addr(9))
+
+    def test_expected_frequency_f0(self, manager):
+        assert manager.expected_frequency() == 0.25
+
+    def test_from_public_keys(self):
+        manager = NodeSetManager.from_public_keys([keypair(0).public, keypair(1).public])
+        assert manager.is_member(addr(0))
+        assert manager.n == 2
+
+
+class TestRoundBoundary:
+    def test_add_applies_at_begin_round(self, manager):
+        contract = manager.contract
+        contract.call(addr(0), encode_propose_add(addr(7)))
+        contract.call(addr(1), encode_vote(0, True))
+        contract.call(addr(2), encode_vote(0, True))
+        # Passed but not yet effective.
+        assert not manager.is_member(addr(7))
+        changes = manager.begin_round()
+        assert len(changes) == 1
+        assert changes[0].kind is ProposalKind.ADD
+        assert changes[0].member == addr(7)
+        assert manager.is_member(addr(7))
+        assert manager.n == 5
+
+    def test_remove_applies_at_begin_round(self, manager):
+        contract = manager.contract
+        contract.call(addr(0), encode_propose_remove(addr(3)))
+        contract.call(addr(1), encode_vote(0, True))
+        contract.call(addr(2), encode_vote(0, True))
+        manager.begin_round()
+        assert not manager.is_member(addr(3))
+        assert manager.n == 3
+
+    def test_no_changes_empty_list(self, manager):
+        assert manager.begin_round() == []
+
+    def test_rescale_ratio(self, manager):
+        contract = manager.contract
+        contract.call(addr(0), encode_propose_add(addr(7)))
+        contract.call(addr(1), encode_vote(0, True))
+        contract.call(addr(2), encode_vote(0, True))
+        previous_n = manager.n
+        manager.begin_round()
+        # §IV-C: D_base scales by n^{e+1}/n^e = 5/4.
+        assert manager.rescale_ratio(previous_n) == pytest.approx(1.25)
+
+    def test_rescale_validation(self, manager):
+        with pytest.raises(MembershipError):
+            manager.rescale_ratio(0)

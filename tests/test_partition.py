@@ -1,0 +1,78 @@
+"""Partition tests: chains diverge under a split and reconverge on heal.
+
+This is the operational face of Prop. 1: once messages flow again, every
+block is either adopted by all nodes or abandoned by all nodes within
+bounded time — the minority branch reorganizes onto the majority chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+
+from tests.test_powfamily import make_fleet, run_to_height
+
+
+class TestPartitionMechanics:
+    def test_cross_partition_messages_dropped(self):
+        from repro.net.latency import LinkModel
+        from repro.net.message import Message
+        from repro.net.network import SimulatedNetwork
+        from repro.net.simulator import Simulator
+        from repro.net.topology import complete_topology
+
+        sim = Simulator()
+        net = SimulatedNetwork(sim, complete_topology(4), LinkModel())
+        got = []
+        for i in range(4):
+            net.attach(i, lambda m, f, i=i: got.append(i))
+        net.set_partition([[0, 1], [2, 3]])
+        net.unicast(0, 1, Message("x", None, 10, 0))  # same side: delivered
+        net.unicast(0, 2, Message("x", None, 10, 0))  # across: dropped
+        sim.run()
+        assert got == [1]
+        net.set_partition(None)
+        net.unicast(0, 2, Message("x", None, 10, 0))
+        sim.run()
+        assert got == [1, 2]
+
+    def test_overlapping_groups_rejected(self):
+        from repro.net.latency import LinkModel
+        from repro.net.network import SimulatedNetwork
+        from repro.net.simulator import Simulator
+        from repro.net.topology import complete_topology
+
+        net = SimulatedNetwork(Simulator(), complete_topology(4), LinkModel())
+        with pytest.raises(NetworkError):
+            net.set_partition([[0, 1], [1, 2]])
+
+
+class TestPartitionConvergence:
+    def test_chains_diverge_then_reconverge(self):
+        """Split 4 nodes 2/2, let both sides mine, heal, and verify all nodes
+        land on a single chain (the heavier side wins under GHOST/GEOST)."""
+        ctx, nodes = make_fleet(4, seed=10, i0=5.0)
+        for node in nodes:
+            node.start()
+        run_to_height(ctx, nodes, 10)
+        # Partition into two halves.
+        ctx.network.set_partition([[0, 1], [2, 3]])
+        height_at_split = nodes[0].state.height()
+        ctx.sim.run(until=ctx.sim.now + 120.0, max_events=3_000_000)
+        # Both sides kept mining independently past the split point.
+        assert nodes[0].state.height() > height_at_split
+        assert nodes[2].state.height() > height_at_split
+        heads_during = {n.state.head_id for n in nodes}
+        assert len(heads_during) >= 2  # diverged
+        # Heal and let gossip + fork choice reconcile.
+        ctx.network.set_partition(None)
+        # New blocks gossiped after healing carry each side's chain across
+        # (orphan buffering pulls in missing ancestors via sync if needed);
+        # nudge reconciliation explicitly with a sync round-trip.
+        nodes[0].request_sync(2)
+        nodes[2].request_sync(0)
+        ctx.sim.run(until=ctx.sim.now + 200.0, max_events=5_000_000)
+        prefix = min(n.state.height() for n in nodes) - 2
+        prefix_ids = {n.main_chain()[prefix].block_id for n in nodes}
+        assert len(prefix_ids) == 1  # reconverged on one history

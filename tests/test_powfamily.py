@@ -1,0 +1,213 @@
+"""Integration tests for the PoW-family mining nodes."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.chain.genesis import make_genesis
+from repro.consensus.base import RunContext
+from repro.consensus.powfamily import (
+    MiningNode,
+    powh_config,
+    themis_config,
+    themis_lite_config,
+)
+from repro.core.difficulty import DifficultyParams
+from repro.mining.oracle import MiningOracle
+from repro.net.latency import LinkModel
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.topology import complete_topology
+
+from tests.conftest import keypair
+
+
+def make_fleet(n=4, configs=None, seed=0, beta=1.0, i0=5.0, jitter=0.01):
+    sim = Simulator(seed=seed)
+    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=jitter))
+    params = DifficultyParams(i0=i0, h0=1.0, beta=beta)
+    keys = [keypair(i) for i in range(n)]
+    ctx = RunContext(
+        sim=sim,
+        network=network,
+        oracle=MiningOracle(sim.rng, params.t0),
+        genesis=make_genesis(),
+        params=params,
+        members=[k.public.fingerprint() for k in keys],
+    )
+    if configs is None:
+        configs = [themis_config(hash_rate=1.0) for _ in range(n)]
+    nodes = [MiningNode(i, keys[i], ctx, configs[i]) for i in range(n)]
+    return ctx, nodes
+
+
+def run_to_height(ctx, nodes, height, max_events=5_000_000):
+    for node in nodes:
+        node.start()
+    ctx.sim.run(
+        stop_when=lambda: nodes[0].state.height() >= height, max_events=max_events
+    )
+
+
+class TestConfigs:
+    def test_algorithm_matrix(self):
+        assert themis_config().rule_kind == "geost" and themis_config().adaptive
+        assert themis_lite_config().rule_kind == "ghost" and themis_lite_config().adaptive
+        assert powh_config().rule_kind == "ghost" and not powh_config().adaptive
+
+
+class TestConsensusProgress:
+    def test_chain_grows_and_converges(self):
+        ctx, nodes = make_fleet(4)
+        run_to_height(ctx, nodes, 20)
+        assert nodes[0].state.height() >= 20
+        # Drain in-flight messages, then all nodes agree on a long prefix.
+        ctx.sim.run(until=ctx.sim.now + 30.0)
+        prefix_ids = set()
+        for node in nodes:
+            chain = node.main_chain()
+            prefix_ids.add(chain[15].block_id)
+        assert len(prefix_ids) == 1
+
+    def test_all_nodes_produce(self):
+        ctx, nodes = make_fleet(4, seed=3)
+        run_to_height(ctx, nodes, 40)
+        chain = nodes[0].main_chain()
+        producers = Counter(b.producer for b in chain[1:])
+        assert len(producers) == 4  # everyone landed at least one block
+
+    def test_block_interval_tracks_i0(self):
+        ctx, nodes = make_fleet(4, i0=5.0, beta=2.0)
+        run_to_height(ctx, nodes, 48)
+        chain = nodes[0].main_chain()
+        # Skip the first epoch (difficulty still calibrating).
+        segment = chain[8:49]
+        interval = (
+            segment[-1].header.timestamp - segment[0].header.timestamp
+        ) / (len(segment) - 1)
+        assert interval == pytest.approx(5.0, rel=0.6)
+
+    def test_deterministic_given_seed(self):
+        ctx_a, nodes_a = make_fleet(4, seed=11)
+        run_to_height(ctx_a, nodes_a, 15)
+        ctx_b, nodes_b = make_fleet(4, seed=11)
+        run_to_height(ctx_b, nodes_b, 15)
+        chain_a = [b.block_id for b in nodes_a[0].main_chain()[:16]]
+        chain_b = [b.block_id for b in nodes_b[0].main_chain()[:16]]
+        assert chain_a == chain_b
+
+    def test_different_seeds_differ(self):
+        ctx_a, nodes_a = make_fleet(4, seed=1)
+        run_to_height(ctx_a, nodes_a, 10)
+        ctx_b, nodes_b = make_fleet(4, seed=2)
+        run_to_height(ctx_b, nodes_b, 10)
+        assert [b.block_id for b in nodes_a[0].main_chain()[:11]] != [
+            b.block_id for b in nodes_b[0].main_chain()[:11]
+        ]
+
+
+class TestAdaptiveDifficulty:
+    def test_strong_node_gets_high_multiple(self):
+        """A 20× power node's multiple climbs toward 20 (Eq. 6 equilibrium)."""
+        configs = [themis_config(hash_rate=20.0)] + [
+            themis_config(hash_rate=1.0) for _ in range(3)
+        ]
+        ctx, nodes = make_fleet(4, configs=configs, beta=8.0, seed=5)
+        run_to_height(ctx, nodes, 32 * 4)  # 4 epochs of Δ=32
+        strong = nodes[0].address
+        multiple, _, _ = nodes[0].state.mining_assignment(strong)
+        assert multiple > 4.0  # rising toward ~20
+
+    def test_powh_multiples_stay_one(self):
+        configs = [powh_config(hash_rate=20.0)] + [
+            powh_config(hash_rate=1.0) for _ in range(3)
+        ]
+        ctx, nodes = make_fleet(4, configs=configs, beta=2.0, seed=5)
+        run_to_height(ctx, nodes, 24)
+        for node in nodes:
+            multiple, _, _ = node.state.mining_assignment(node.address)
+            assert multiple == 1.0
+
+    def test_themis_equalizes_vs_powh(self):
+        """The headline claim at miniature scale: Themis' producer histogram
+        is flatter than PoW-H's under a 20:1:1:1 power split."""
+
+        def histogram(configs, seed):
+            ctx, nodes = make_fleet(4, configs=configs, beta=4.0, seed=seed)
+            run_to_height(ctx, nodes, 16 * 6)
+            chain = nodes[0].main_chain()
+            counts = Counter(b.producer for b in chain[33:])  # skip 2 epochs
+            return counts
+
+        power = [20.0, 1.0, 1.0, 1.0]
+        themis_counts = histogram([themis_config(hash_rate=h) for h in power], 9)
+        powh_counts = histogram([powh_config(hash_rate=h) for h in power], 9)
+        strong = keypair(0).public.fingerprint()
+        themis_share = themis_counts[strong] / sum(themis_counts.values())
+        powh_share = powh_counts[strong] / sum(powh_counts.values())
+        assert powh_share > 0.7  # ~20/23 without adjustment
+        assert themis_share < powh_share - 0.2
+
+
+class TestValidationPath:
+    def test_invalid_difficulty_blocks_rejected(self):
+        """A block declaring the wrong multiple is rejected by peers."""
+        from repro.chain.block import Block, build_block
+
+        ctx, nodes = make_fleet(4)
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 3)
+        # Forge a block with an inflated base difficulty.
+        head = nodes[1].state.head_block()
+        forged = build_block(
+            keypair(0),
+            head.block_id,
+            head.height + 1,
+            [],
+            ctx.sim.now,
+            1.0,
+            999_999.0,
+            0,
+        )
+        before = nodes[1].stats.blocks_rejected
+        nodes[1]._handle_block(forged)
+        assert nodes[1].stats.blocks_rejected == before + 1
+        assert forged.block_id not in nodes[1].tree
+
+    def test_non_member_blocks_rejected(self):
+        from repro.chain.block import build_block
+
+        ctx, nodes = make_fleet(4)
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 2)
+        head = nodes[1].state.head_block()
+        table = nodes[1].state.table_for_block_height(head.block_id, head.height + 1)
+        outsider = build_block(
+            keypair(7),
+            head.block_id,
+            head.height + 1,
+            [],
+            ctx.sim.now,
+            1.0,
+            table.base,
+            nodes[1].state.epoch_of_height(head.height + 1),
+        )
+        before = nodes[1].stats.blocks_rejected
+        nodes[1]._handle_block(outsider)
+        assert nodes[1].stats.blocks_rejected == before + 1
+
+
+class TestStopStart:
+    def test_stopped_node_still_relays(self):
+        ctx, nodes = make_fleet(4)
+        for node in nodes:
+            node.start()
+        nodes[3].stop()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 10)
+        assert nodes[3].stats.blocks_produced == 0
+        ctx.sim.run(until=ctx.sim.now + 20.0)
+        assert nodes[3].state.height() >= 9  # kept following the chain

@@ -1,0 +1,211 @@
+"""Cross-cutting property-based tests on consensus invariants.
+
+These target the properties the paper's correctness rests on:
+
+* fork choice is a pure function of (tree content, reception order) — the
+  *insertion interleaving* of concurrent branches must not change the head
+  beyond what reception order implies;
+* every node that saw the same blocks in the same order computes the same
+  difficulty tables (§IV-A's "without extra communication");
+* GEOST, GHOST and longest-chain agree on linear (fork-free) chains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.block import build_block
+from repro.chain.blocktree import BlockTree
+from repro.chain.forkchoice import GHOSTRule, LongestChainRule
+from repro.chain.genesis import make_genesis
+from repro.core.difficulty import DifficultyParams
+from repro.core.geost import GEOSTRule
+from repro.core.themis import ConsensusChainState
+
+from tests.conftest import keypair
+
+
+def _members(n: int) -> list[bytes]:
+    return [keypair(i).public.fingerprint() for i in range(n)]
+
+
+def _random_tree(parent_choices: list[int], producers: list[int]):
+    """Build a tree where block i attaches to a previous block chosen by
+    ``parent_choices[i] % i+1`` with producer ``producers[i] % 6``."""
+    genesis = make_genesis()
+    tree = BlockTree(genesis, finality_window=None)
+    blocks = [genesis]
+    for i, (choice, producer) in enumerate(zip(parent_choices, producers)):
+        parent = blocks[choice % len(blocks)]
+        block = build_block(
+            keypair(producer % 6),
+            parent.block_id,
+            parent.height + 1,
+            [],
+            float(i + 1),
+            1.0,
+            1.0,
+            0,
+        )
+        tree.add_block(block, float(i + 1))
+        blocks.append(block)
+    return tree, blocks
+
+
+tree_strategy = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=20),
+    st.lists(st.integers(min_value=0, max_value=10**6), min_size=20, max_size=20),
+)
+
+
+class TestForkChoiceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(tree_strategy)
+    def test_head_is_a_leaf_descending_from_genesis(self, spec):
+        choices, producers = spec
+        tree, blocks = _random_tree(choices, producers)
+        members = _members(6)
+        for rule in (LongestChainRule(), GHOSTRule(), GEOSTRule(lambda: members)):
+            head = rule.head(tree)
+            assert not tree.children(head)  # a leaf
+            assert tree.is_ancestor(tree.genesis_id, head)
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree_strategy)
+    def test_rules_agree_on_linear_chains(self, spec):
+        _, producers = spec
+        genesis = make_genesis()
+        tree = BlockTree(genesis)
+        parent = genesis
+        for i, producer in enumerate(producers):
+            parent = build_block(
+                keypair(producer % 6),
+                parent.block_id,
+                parent.height + 1,
+                [],
+                float(i + 1),
+                1.0,
+                1.0,
+                0,
+            )
+            tree.add_block(parent, float(i + 1))
+        members = _members(6)
+        heads = {
+            LongestChainRule().head(tree),
+            GHOSTRule().head(tree),
+            GEOSTRule(lambda: members).head(tree),
+        }
+        assert heads == {parent.block_id}
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree_strategy)
+    def test_ghost_head_has_maximal_root_subtree(self, spec):
+        """The GHOST head's first-level ancestor is a heaviest child of
+        genesis (sanity of the greedy invariant at the first step)."""
+        choices, producers = spec
+        tree, _ = _random_tree(choices, producers)
+        head = GHOSTRule().head(tree)
+        children = tree.children(tree.genesis_id)
+        if not children:
+            return
+        # Walk head's ancestry to the child of genesis it passes through.
+        cursor = head
+        while tree.parent(cursor) != tree.genesis_id:
+            cursor = tree.parent(cursor)
+        max_weight = max(tree.subtree_size(c) for c in children)
+        assert tree.subtree_size(cursor) == max_weight
+
+
+class TestDeterministicTables:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=8))
+    def test_same_blocks_same_tables(self, producers):
+        """Two nodes fed the same chain derive identical difficulty tables."""
+        members = _members(4)
+        params = DifficultyParams(i0=10.0, h0=1.0, beta=2.0)  # Δ = 8
+        genesis = make_genesis()
+        states = [
+            ConsensusChainState(genesis, lambda: members, params, "geost")
+            for _ in range(2)
+        ]
+        parent = genesis
+        chain = []
+        for i, producer in enumerate(producers):
+            address = members[producer]
+            multiple, base, epoch = states[0].mining_assignment(address)
+            block = build_block(
+                keypair(producer),
+                parent.block_id,
+                parent.height + 1,
+                [],
+                10.0 * (i + 1),
+                multiple,
+                base,
+                epoch,
+            )
+            chain.append(block)
+            for state in states:
+                state.add_block(block, block.header.timestamp)
+            parent = block
+        anchor = chain[-1].block_id  # height 8 = epoch boundary (Δ = 8)
+        tables = [s.table_for_anchor(anchor) for s in states]
+        assert tables[0].base == tables[1].base
+        assert dict(tables[0].multiples) == dict(tables[1].multiples)
+        # And the Eq. 6 invariant holds for every member.
+        counts = Counter(b.producer for b in chain)
+        n = len(members)
+        for member in members:
+            expected = max(n * counts.get(member, 0) / 8 * 1.0, 1.0)
+            assert tables[0].multiple(member) == pytest.approx(expected)
+
+
+class TestInterleavingInvariance:
+    @settings(max_examples=15, deadline=None)
+    @given(st.randoms(use_true_random=False))
+    def test_branch_interleaving_preserves_head_given_order(self, rnd):
+        """Delivering two fixed branches in any interleaving that preserves
+        parent-before-child and the same sibling reception order yields the
+        same GHOST head."""
+        genesis = make_genesis()
+        # Branch A: 3 blocks by producer 0; branch B: 2 blocks by producer 1.
+        blocks_a, blocks_b = [], []
+        parent = genesis
+        for i in range(3):
+            parent = build_block(
+                keypair(0), parent.block_id, parent.height + 1, [], 1.0 + i, 1.0, 1.0, 0
+            )
+            blocks_a.append(parent)
+        parent = genesis
+        for i in range(2):
+            parent = build_block(
+                keypair(1), parent.block_id, parent.height + 1, [], 2.0 + i, 1.0, 1.0, 0
+            )
+            blocks_b.append(parent)
+
+        def build(first_branch, second_branch, first_root_first: bool):
+            tree = BlockTree(genesis)
+            # Fix sibling order at genesis: A's root always first.
+            queue_a = list(first_branch)
+            queue_b = list(second_branch)
+            tree.add_block(queue_a.pop(0), 0.0)
+            tree.add_block(queue_b.pop(0), 0.1)
+            remaining = queue_a + queue_b
+            rnd.shuffle(remaining)
+            # Deliver respecting parent-before-child (retry loop).
+            pending = list(remaining)
+            t = 1.0
+            while pending:
+                for block in list(pending):
+                    if block.parent_hash in tree:
+                        tree.add_block(block, t)
+                        pending.remove(block)
+                        t += 1.0
+            return GHOSTRule().head(tree)
+
+        head_one = build(blocks_a, blocks_b, True)
+        head_two = build(blocks_a, blocks_b, True)
+        # Branch A (3 blocks, received first) must win in every interleaving.
+        assert head_one == head_two == blocks_a[-1].block_id

@@ -1,0 +1,90 @@
+"""Tests for result serialization and text rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.reporting import (
+    ascii_chart,
+    config_to_dict,
+    load_results,
+    result_to_dict,
+    save_results,
+    summary_line,
+)
+from repro.sim.runner import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_experiment(
+        ExperimentConfig(algorithm="themis", n=8, epochs=2, seed=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def pbft_result():
+    return run_experiment(
+        ExperimentConfig(algorithm="pbft", n=8, pbft_rounds=12, seed=1)
+    )
+
+
+class TestSerialization:
+    def test_config_roundtrips_through_json(self):
+        cfg = ExperimentConfig(algorithm="pow-h", n=12, seed=3)
+        record = json.loads(json.dumps(config_to_dict(cfg)))
+        assert record["algorithm"] == "pow-h"
+        assert record["n"] == 12
+
+    def test_result_dict_carries_metrics(self, small_result):
+        record = result_to_dict(small_result)
+        assert record["tps"] == small_result.tps
+        assert record["equality"] == small_result.equality
+        assert record["fork"]["fork_rate"] == small_result.fork.fork_rate
+        assert record["network"]["messages_sent"] > 0
+        json.dumps(record)  # fully JSON-safe
+
+    def test_pbft_result_fork_is_none(self, pbft_result):
+        assert result_to_dict(pbft_result)["fork"] is None
+
+    def test_save_and_load(self, small_result, tmp_path):
+        path = save_results([small_result], tmp_path / "runs" / "out.json")
+        loaded = load_results(path)
+        assert len(loaded) == 1
+        assert loaded[0]["config"]["algorithm"] == "themis"
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(SimulationError):
+            load_results(path)
+
+
+class TestRendering:
+    def test_ascii_chart_shape(self):
+        chart = ascii_chart({"a": [1.0, 2.0, 3.0]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + legend
+        assert lines[-1].startswith("* a")
+
+    def test_ascii_chart_multi_series(self):
+        chart = ascii_chart({"a": [1.0, 2.0], "b": [2.0, 1.0]}, width=10, height=4)
+        assert "* a" in chart and "o b" in chart
+
+    def test_ascii_chart_log_scale(self):
+        chart = ascii_chart({"a": [1e-6, 1e-3, 1.0]}, logy=True)
+        assert "(log y)" in chart
+
+    def test_ascii_chart_validation(self):
+        with pytest.raises(SimulationError):
+            ascii_chart({})
+        with pytest.raises(SimulationError):
+            ascii_chart({"a": []})
+
+    def test_summary_line(self, small_result, pbft_result):
+        line = summary_line(small_result)
+        assert "themis" in line and "tps=" in line and "fork" in line
+        assert "fork n/a" in summary_line(pbft_result)

@@ -1,0 +1,146 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # no raise
+
+
+class TestRunControl:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a, b = Simulator(seed=42), Simulator(seed=42)
+        assert [a.exponential(2.0) for _ in range(10)] == [
+            b.exponential(2.0) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert Simulator(seed=1).exponential(1.0) != Simulator(seed=2).exponential(1.0)
+
+    def test_exponential_rate_validation(self):
+        with pytest.raises(SimulationError):
+            Simulator().exponential(0.0)
+
+    def test_exponential_mean(self):
+        sim = Simulator(seed=0)
+        samples = [sim.exponential(4.0) for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.25, rel=0.1)

@@ -1,0 +1,179 @@
+"""Hypothesis stateful (rule-based) tests for core data structures.
+
+These drive :class:`BlockTree` and :class:`Mempool` through arbitrary
+operation sequences and check their invariants after every step — the
+strongest property coverage we can put on the structures everything else
+trusts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chain.block import build_block
+from repro.chain.blocktree import BlockTree
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import Transaction
+from repro.ledger.mempool import Mempool
+
+from tests.conftest import keypair
+
+
+class BlockTreeMachine(RuleBasedStateMachine):
+    """Grow a block tree arbitrarily; invariants must always hold."""
+
+    @initialize()
+    def setup(self):
+        self.genesis = make_genesis("stateful")
+        self.tree = BlockTree(self.genesis, finality_window=None)
+        self.blocks = [self.genesis]
+        self.clock = 0.0
+
+    @rule(parent_index=st.integers(min_value=0), producer=st.integers(0, 5))
+    def extend(self, parent_index, producer):
+        parent = self.blocks[parent_index % len(self.blocks)]
+        self.clock += 1.0
+        block = build_block(
+            keypair(producer),
+            parent.block_id,
+            parent.height + 1,
+            [],
+            self.clock,
+            1.0,
+            1.0,
+            0,
+        )
+        self.tree.add_block(block, self.clock)
+        self.blocks.append(block)
+
+    @rule(producer=st.integers(0, 5))
+    def insert_orphan_then_parent(self, producer):
+        """Exercise the orphan path: child arrives before its parent."""
+        parent_of_orphan = build_block(
+            keypair(producer),
+            self.blocks[-1].block_id,
+            self.blocks[-1].height + 1,
+            [],
+            self.clock + 1.0,
+            1.0,
+            1.0,
+            0,
+        )
+        orphan = build_block(
+            keypair(producer),
+            parent_of_orphan.block_id,
+            parent_of_orphan.height + 1,
+            [],
+            self.clock + 2.0,
+            1.0,
+            1.0,
+            0,
+        )
+        self.clock += 2.0
+        assert self.tree.add_block(orphan, self.clock) is False
+        assert self.tree.add_block(parent_of_orphan, self.clock) is True
+        self.blocks.extend([parent_of_orphan, orphan])
+
+    @invariant()
+    def sizes_consistent(self):
+        if not hasattr(self, "tree"):
+            return
+        for block in self.blocks:
+            if block.block_id not in self.tree:
+                continue
+            children = self.tree.children(block.block_id)
+            assert self.tree.subtree_size(block.block_id) == 1 + sum(
+                self.tree.subtree_size(c) for c in children
+            )
+
+    @invariant()
+    def producer_histograms_consistent(self):
+        if not hasattr(self, "tree"):
+            return
+        total = sum(self.tree.subtree_producers(self.genesis.block_id).values())
+        assert total == len(self.tree) - 1
+
+    @invariant()
+    def heights_indexed(self):
+        if not hasattr(self, "tree"):
+            return
+        for block in self.blocks:
+            if block.block_id in self.tree:
+                assert block.block_id in self.tree.blocks_at_height(block.height)
+
+
+class MempoolMachine(RuleBasedStateMachine):
+    """Random add/remove/select sequences against a model dict."""
+
+    @initialize()
+    def setup(self):
+        self.pool = Mempool(capacity=50)
+        self.model: dict[bytes, Transaction] = {}
+        self.counter = 0
+
+    def _new_tx(self) -> Transaction:
+        self.counter += 1
+        return Transaction(
+            keypair(0).public.fingerprint(),
+            keypair(1).public.fingerprint(),
+            1,
+            self.counter,
+        )
+
+    @rule()
+    def add_new(self):
+        tx = self._new_tx()
+        added = self.pool.add(tx)
+        assert added is True
+        if len(self.model) >= 50:
+            # Oldest model entry evicted (FIFO capacity).
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+        self.model[tx.tx_id] = tx
+
+    @rule()
+    def add_duplicate(self):
+        if not self.model:
+            return
+        tx = next(iter(self.model.values()))
+        assert self.pool.add(tx) is False
+
+    @rule(count=st.integers(0, 10))
+    def remove_some(self, count):
+        victims = list(self.model)[:count]
+        removed = self.pool.remove(victims)
+        assert removed == len(victims)
+        for tx_id in victims:
+            del self.model[tx_id]
+
+    @rule(max_count=st.integers(1, 20))
+    def select_subset(self, max_count):
+        picked = self.pool.select(max_count)
+        assert len(picked) == min(max_count, len(self.model))
+        for tx in picked:
+            assert tx.tx_id in self.model
+
+    @invariant()
+    def pool_matches_model(self):
+        if not hasattr(self, "pool"):
+            return
+        assert len(self.pool) == len(self.model)
+        for tx_id in self.model:
+            assert tx_id in self.pool
+
+
+TestBlockTreeStateful = BlockTreeMachine.TestCase
+TestBlockTreeStateful.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestMempoolStateful = MempoolMachine.TestCase
+TestMempoolStateful.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,96 @@
+"""Tests for chain persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.forkchoice import GHOSTRule
+from repro.chain.store import (
+    FORMAT_VERSION,
+    deserialize_tree,
+    load_tree,
+    save_tree,
+    serialize_tree,
+)
+from repro.core.geost import GEOSTRule
+from repro.errors import CodecError
+
+from tests.conftest import TreeBuilder, keypair
+
+
+def build_forked_tree(genesis):
+    builder = TreeBuilder(genesis)
+    a = builder.extend(genesis, 0)
+    b = builder.extend(a, 1)
+    builder.extend(a, 2)  # fork
+    builder.extend(b, 3)
+    return builder.tree
+
+
+class TestRoundTrip:
+    def test_blocks_preserved(self, genesis):
+        tree = build_forked_tree(genesis)
+        restored = deserialize_tree(serialize_tree(tree))
+        assert len(restored) == len(tree)
+        for block in tree.iter_blocks():
+            assert restored.has_block(block.block_id)
+
+    def test_arrival_order_preserved(self, genesis):
+        """GEOST's first-received tie-break must survive a restart."""
+        tree = build_forked_tree(genesis)
+        restored = deserialize_tree(serialize_tree(tree))
+        for block in tree.iter_blocks():
+            bid = block.block_id
+            assert restored.arrival_time(bid) == tree.arrival_time(bid)
+            assert restored.children(bid) == tree.children(bid)
+
+    def test_fork_choice_agrees_after_restore(self, genesis):
+        tree = build_forked_tree(genesis)
+        restored = deserialize_tree(serialize_tree(tree))
+        members = [keypair(i).public.fingerprint() for i in range(4)]
+        assert GHOSTRule().head(restored) == GHOSTRule().head(tree)
+        rule = GEOSTRule(lambda: members)
+        assert rule.head(restored) == rule.head(tree)
+
+    def test_subtree_stats_rebuilt(self, genesis):
+        tree = build_forked_tree(genesis)
+        restored = deserialize_tree(serialize_tree(tree))
+        for block in tree.iter_blocks():
+            assert restored.subtree_size(block.block_id) == tree.subtree_size(
+                block.block_id
+            )
+
+    def test_file_round_trip(self, genesis, tmp_path):
+        tree = build_forked_tree(genesis)
+        path = save_tree(tree, tmp_path / "chains" / "node0.chain")
+        restored = load_tree(path)
+        assert len(restored) == len(tree)
+
+
+class TestFormatDiscipline:
+    def test_bad_magic_rejected(self, genesis):
+        data = serialize_tree(build_forked_tree(genesis))
+        with pytest.raises(CodecError):
+            deserialize_tree(b"XXXX" + data[4:])
+
+    def test_bad_version_rejected(self, genesis):
+        data = bytearray(serialize_tree(build_forked_tree(genesis)))
+        data[4] = FORMAT_VERSION + 1
+        with pytest.raises(CodecError):
+            deserialize_tree(bytes(data))
+
+    def test_trailing_garbage_rejected(self, genesis):
+        data = serialize_tree(build_forked_tree(genesis))
+        with pytest.raises(CodecError):
+            deserialize_tree(data + b"\x00")
+
+    def test_simulation_tree_roundtrip(self):
+        """A real simulated tree (forks, signatures absent) round-trips."""
+        from tests.test_powfamily import make_fleet, run_to_height
+
+        ctx, nodes = make_fleet(4, seed=12)
+        run_to_height(ctx, nodes, 30)
+        tree = nodes[0].tree
+        restored = deserialize_tree(serialize_tree(tree))
+        assert len(restored) == len(tree)
+        assert GHOSTRule().head(restored) == GHOSTRule().head(tree)

@@ -1,0 +1,95 @@
+"""Tests for seed sweeps and figure-data export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.figdata import FigureData, export_series
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweeps import SweepSummary, compare_algorithms, seed_sweep, summarize
+
+
+class TestSweepSummary:
+    def test_stats(self):
+        summary = SweepSummary((1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.median == 2.0
+        assert summary.n == 3
+        assert summary.std == pytest.approx(1.0)
+
+    def test_confidence_interval_brackets_mean(self):
+        summary = SweepSummary((10.0, 12.0, 11.0, 9.0))
+        lo, hi = summary.confidence_interval()
+        assert lo < summary.mean < hi
+
+    def test_single_value_degenerate(self):
+        summary = SweepSummary((5.0,))
+        assert summary.std == 0.0
+        assert summary.confidence_interval() == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            SweepSummary(())
+
+    def test_format(self):
+        assert "95% CI" in SweepSummary((1.0, 2.0)).format(" tps")
+
+
+class TestSeedSweep:
+    def test_sweep_and_summarize(self):
+        base = ExperimentConfig(algorithm="themis", n=8, epochs=2)
+        results = seed_sweep(base, seeds=[1, 2])
+        assert len(results) == 2
+        assert results[0].config.seed == 1
+        summary = summarize(results, lambda r: r.tps)
+        assert summary.n == 2
+        assert summary.mean > 0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SimulationError):
+            seed_sweep(ExperimentConfig(algorithm="themis", n=8), seeds=[])
+
+    def test_compare_algorithms(self):
+        base = ExperimentConfig(algorithm="themis", n=8, epochs=2, pbft_rounds=16)
+        table = compare_algorithms(
+            base, ["themis", "pbft"], seeds=[1], metric=lambda r: r.tps
+        )
+        assert set(table) == {"themis", "pbft"}
+        assert all(s.mean > 0 for s in table.values())
+
+
+class TestFigureData:
+    def test_roundtrip(self, tmp_path):
+        path = export_series(
+            "fig_test",
+            "epoch",
+            [0, 1, 2],
+            {"themis": [3.0, 2.0, 1.0], "pow-h": [3.0, 3.0, 3.0]},
+            directory=tmp_path,
+        )
+        loaded = FigureData.read_csv(path)
+        assert loaded.xlabel == "epoch"
+        assert loaded.x == [0, 1, 2]
+        assert loaded.series["themis"] == [3.0, 2.0, 1.0]
+
+    def test_length_mismatch_rejected(self):
+        data = FigureData(name="f", xlabel="x", x=[1, 2])
+        with pytest.raises(SimulationError):
+            data.add_series("bad", [1.0])
+
+    def test_duplicate_series_rejected(self):
+        data = FigureData(name="f", xlabel="x", x=[1])
+        data.add_series("a", [1.0])
+        with pytest.raises(SimulationError):
+            data.add_series("a", [2.0])
+
+    def test_empty_write_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            FigureData(name="f", xlabel="x").write_csv(tmp_path)
+
+    def test_read_empty_rejected(self, tmp_path):
+        bad = tmp_path / "empty.csv"
+        bad.write_text("x,y\n")
+        with pytest.raises(SimulationError):
+            FigureData.read_csv(bad)

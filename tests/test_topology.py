@@ -1,0 +1,73 @@
+"""Tests for overlay topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.topology import (
+    average_degree,
+    complete_topology,
+    diameter_hops,
+    random_regular_topology,
+    ring_topology,
+    small_world_topology,
+)
+
+
+class TestComplete:
+    def test_everyone_peers_with_everyone(self):
+        adj = complete_topology(5)
+        assert all(len(peers) == 4 for peers in adj.values())
+        assert average_degree(adj) == 4.0
+        assert diameter_hops(adj) == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(NetworkError):
+            complete_topology(1)
+
+
+class TestRandomRegular:
+    def test_degree_respected(self):
+        adj = random_regular_topology(20, 4, seed=1)
+        assert all(len(peers) == 4 for peers in adj.values())
+        assert len(adj) == 20
+
+    def test_connected(self):
+        adj = random_regular_topology(50, 3, seed=2)
+        assert diameter_hops(adj) < 50  # diameter computable => connected
+
+    def test_deterministic_by_seed(self):
+        assert random_regular_topology(20, 4, seed=7) == random_regular_topology(
+            20, 4, seed=7
+        )
+
+    def test_parity_validation(self):
+        with pytest.raises(NetworkError):
+            random_regular_topology(5, 3)  # n*d odd
+
+    def test_degree_bound(self):
+        with pytest.raises(NetworkError):
+            random_regular_topology(4, 4)
+
+
+class TestOthers:
+    def test_ring(self):
+        adj = ring_topology(6)
+        assert all(len(peers) == 2 for peers in adj.values())
+        assert diameter_hops(adj) == 3
+
+    def test_ring_minimum(self):
+        with pytest.raises(NetworkError):
+            ring_topology(2)
+
+    def test_small_world_connected(self):
+        adj = small_world_topology(30, k=4, rewire_p=0.3, seed=1)
+        assert len(adj) == 30
+        assert diameter_hops(adj) < 30
+
+    def test_higher_degree_smaller_diameter(self):
+        """The §VI-D out-degree effect: more peers, shorter paths."""
+        sparse = random_regular_topology(64, 3, seed=1)
+        dense = random_regular_topology(64, 8, seed=1)
+        assert diameter_hops(dense) < diameter_hops(sparse)

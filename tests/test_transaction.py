@@ -1,0 +1,119 @@
+"""Tests for transactions: construction, signing, padding, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import TX_SIZE, Transaction, make_transaction
+from repro.crypto.signature import sign_digest
+from repro.errors import InvalidTransactionError
+
+from tests.conftest import keypair
+
+
+def _addr(i: int) -> bytes:
+    return keypair(i).public.fingerprint()
+
+
+class TestConstruction:
+    def test_address_length_enforced(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(b"short", _addr(1), 1, 0)
+        with pytest.raises(InvalidTransactionError):
+            Transaction(_addr(0), b"short", 1, 0)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(_addr(0), _addr(1), -1, 0)
+
+    def test_negative_nonce_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            Transaction(_addr(0), _addr(1), 1, -1)
+
+
+class TestSigning:
+    def test_make_transaction_signs(self):
+        tx = make_transaction(keypair(0), _addr(1), 10, 0)
+        assert tx.verify_signature()
+
+    def test_unsigned_fails_verification(self):
+        tx = Transaction(_addr(0), _addr(1), 1, 0)
+        assert not tx.verify_signature()
+
+    def test_wrong_signer_rejected(self):
+        tx = Transaction(_addr(0), _addr(1), 1, 0)
+        with pytest.raises(InvalidTransactionError):
+            tx.signed_by(keypair(1))
+
+    def test_signer_must_own_sender_address(self):
+        # Sign with the right key, then swap in another key's envelope.
+        tx = Transaction(_addr(0), _addr(1), 1, 0).signed_by(keypair(0))
+        forged_sig = sign_digest(keypair(1), tx.signing_digest())
+        forged = Transaction(
+            tx.sender, tx.recipient, tx.amount, tx.nonce, tx.payload, tx.padding, forged_sig
+        )
+        assert not forged.verify_signature()
+
+    def test_digest_covers_all_fields(self):
+        base = Transaction(_addr(0), _addr(1), 1, 0, b"p", b"q")
+        variants = [
+            Transaction(_addr(0), _addr(1), 2, 0, b"p", b"q"),
+            Transaction(_addr(0), _addr(1), 1, 1, b"p", b"q"),
+            Transaction(_addr(0), _addr(1), 1, 0, b"x", b"q"),
+            Transaction(_addr(0), _addr(1), 1, 0, b"p", b"y"),
+            Transaction(_addr(0), _addr(2), 1, 0, b"p", b"q"),
+        ]
+        digests = {v.signing_digest() for v in variants}
+        assert base.signing_digest() not in digests
+        assert len(digests) == len(variants)
+
+
+class TestPadding:
+    def test_default_size_is_512(self):
+        tx = make_transaction(keypair(0), _addr(1), 10, 0)
+        assert tx.size == TX_SIZE
+
+    def test_padding_with_payload(self):
+        tx = make_transaction(keypair(0), _addr(1), 0, 0, payload=b"call-data")
+        assert tx.size == TX_SIZE
+        assert tx.payload == b"call-data"
+
+    def test_no_padding_option(self):
+        tx = make_transaction(keypair(0), _addr(1), 10, 0, pad_to=None)
+        assert tx.size < TX_SIZE
+        assert tx.padding == b""
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            make_transaction(keypair(0), _addr(1), 0, 0, payload=b"x" * 600)
+
+    def test_padding_preserves_signature_validity(self):
+        tx = make_transaction(keypair(0), _addr(1), 5, 3, payload=b"\x00\x01")
+        assert tx.verify_signature()
+
+    @pytest.mark.parametrize("target", [256, 300, 512, 1024])
+    def test_arbitrary_pad_targets(self, target):
+        tx = make_transaction(keypair(0), _addr(1), 1, 0, pad_to=target)
+        assert tx.size == target
+
+
+class TestSerialization:
+    def test_roundtrip_signed(self):
+        tx = make_transaction(keypair(0), _addr(1), 7, 2, payload=b"data")
+        recovered = Transaction.from_bytes(tx.to_bytes())
+        assert recovered == tx
+        assert recovered.tx_id == tx.tx_id
+        assert recovered.verify_signature()
+
+    def test_roundtrip_unsigned(self):
+        tx = Transaction(_addr(0), _addr(1), 1, 0, b"p")
+        assert Transaction.from_bytes(tx.to_bytes()) == tx
+
+    def test_tx_id_changes_with_content(self):
+        a = make_transaction(keypair(0), _addr(1), 1, 0)
+        b = make_transaction(keypair(0), _addr(1), 1, 1)
+        assert a.tx_id != b.tx_id
+
+    def test_tx_id_is_32_bytes(self):
+        tx = make_transaction(keypair(0), _addr(1), 1, 0)
+        assert len(tx.tx_id) == 32

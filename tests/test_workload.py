@@ -1,0 +1,59 @@
+"""Tests for transaction workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import TX_SIZE
+from repro.errors import SimulationError
+from repro.sim.workload import TransactionWorkload, make_transfer_batch
+
+from tests.conftest import keypair
+from tests.test_fullnode import make_consortium
+
+
+class TestTransferBatch:
+    def test_batch_shape(self):
+        batch = make_transfer_batch(
+            keypair(0), keypair(1).public.fingerprint(), count=5, start_nonce=3
+        )
+        assert len(batch) == 5
+        assert [tx.nonce for tx in batch] == [3, 4, 5, 6, 7]
+        assert all(tx.size == TX_SIZE for tx in batch)
+        assert all(tx.verify_signature() for tx in batch)
+
+
+class TestPoissonWorkload:
+    def test_generates_and_commits(self):
+        ctx, nodes = make_consortium(n=4, seed=7)
+        for node in nodes:
+            node.start()
+        workload = TransactionWorkload(sim=ctx.sim, nodes=nodes, rate=1.0)
+        workload.start()
+        ctx.sim.run(until=40.0, max_events=3_000_000)
+        workload.stop()
+        assert len(workload.submitted) > 10
+        # Keep running so submissions land on chain.
+        ctx.sim.run(until=120.0, max_events=3_000_000)
+        committed = sum(
+            len(block.transactions) for block in nodes[0].main_chain()[1:]
+        )
+        assert committed >= len(workload.submitted) * 0.5
+
+    def test_arrival_rate_roughly_poisson(self):
+        ctx, nodes = make_consortium(n=4, seed=8)
+        for node in nodes:
+            node.start()
+        workload = TransactionWorkload(sim=ctx.sim, nodes=nodes, rate=2.0)
+        workload.start()
+        ctx.sim.run(until=60.0, max_events=3_000_000)
+        workload.stop()
+        # 2 tx/s over 60 s: expect ~120, allow wide Poisson slack.
+        assert 70 <= len(workload.submitted) <= 180
+
+    def test_validation(self):
+        ctx, nodes = make_consortium(n=4)
+        with pytest.raises(SimulationError):
+            TransactionWorkload(sim=ctx.sim, nodes=nodes, rate=0.0).start()
+        with pytest.raises(SimulationError):
+            TransactionWorkload(sim=ctx.sim, nodes=[], rate=1.0).start()
