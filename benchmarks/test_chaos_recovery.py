@@ -1,0 +1,83 @@
+"""Chaos recovery — graceful degradation under 20 % node churn.
+
+Not a paper figure: a robustness benchmark over the same Themis fleet the
+§VII-C experiments use.  A clean baseline run is replayed under seeded fault
+plans that crash-and-restart 20 % of the nodes mid-run (plus a healing
+partition), with the safety/liveness invariant monitors armed throughout.
+
+The contract is *graceful* degradation, asserted on ratios against the
+baseline rather than absolutes:
+
+* TPS must not collapse — churn costs throughput, but the surviving quorum
+  keeps committing (ratio floor well above zero);
+* equality's σ_f² must not blow up — crashed nodes miss their rounds, so the
+  producer histogram skews, but self-adaptive difficulty re-levels it once
+  they recover (ratio ceiling, not equality);
+* every crashed node provably recovers: it syncs back and produces at least
+  one block after restarting;
+* no invariant sweep ever trips — the chain stays safe and live under churn.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_series
+from repro.sim.metrics import stable_value
+from repro.sim.runner import ExperimentConfig, run_chaos_suite
+
+N = 12
+EPOCHS = 4
+SEEDS = 2
+CHURN = 0.2
+
+# Degradation bounds: wide on purpose — they catch collapse/blow-up, not
+# ordinary run-to-run noise (σ_f² at this scale is itself noisy).
+TPS_FLOOR = 0.35
+EQUALITY_CEILING = 8.0
+
+
+def test_chaos_recovery_graceful_degradation(run_once):
+    cfg = ExperimentConfig(
+        n=N,
+        epochs=EPOCHS,
+        seed=1,
+        i0=5.0,
+        confirmation_depth=8,
+        invariant_check_interval=20.0,
+    )
+
+    def experiment():
+        return run_chaos_suite(cfg, runs=SEEDS, churn=CHURN, partitions=1)
+
+    suite = run_once(experiment)
+    tps_ratios = suite.tps_ratios()
+    eq_ratios = suite.equality_ratios()
+
+    print_series(
+        f"Chaos recovery: {int(100 * CHURN)}% churn + healing partition vs baseline",
+        "plan",
+        {
+            "plan": list(range(len(suite.chaos_runs))),
+            "tps ratio": tps_ratios,
+            "sigma_f2 ratio": eq_ratios,
+            "crashes": [run.chaos.crashes for run in suite.chaos_runs],
+            "recovered": [run.chaos.recovered_producers for run in suite.chaos_runs],
+            "msgs dropped": [run.chaos.messages_dropped for run in suite.chaos_runs],
+        },
+    )
+    print(suite.summary())
+
+    assert stable_value(suite.baseline.equality, robust=True) > 0
+    for run, tps_ratio, eq_ratio in zip(suite.chaos_runs, tps_ratios, eq_ratios):
+        # Faults actually bit: the expected churn was injected and observable.
+        expected_crashes = round(CHURN * N)
+        assert run.chaos.crashes == expected_crashes
+        assert run.chaos.messages_dropped > 0
+        # Every crashed node recovered and produced again (acceptance
+        # criterion: sync completed at a usable difficulty).
+        assert run.chaos.recovered_producers == expected_crashes
+        # Graceful, not catastrophic.
+        assert tps_ratio >= TPS_FLOOR, f"TPS collapsed: x{tps_ratio:.2f}"
+        assert eq_ratio <= EQUALITY_CEILING, f"equality blew up: x{eq_ratio:.2f}"
+        # Monitors stayed armed the whole run and never tripped.
+        assert run.invariants is not None and run.invariants.checks_run > 0
+        assert run.invariants.clean, run.invariants.summary()

@@ -20,7 +20,6 @@ from repro.analysis.forkmodel import fork_rate_model, propagation_delay_estimate
 from repro.net.latency import LinkModel
 from repro.net.topology import random_regular_topology
 from repro.sim.runner import ExperimentConfig
-from repro.sim.scenarios import fork_scenario
 
 N = 40
 DEGREES = (4, 8, 16)

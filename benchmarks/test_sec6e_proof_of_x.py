@@ -13,7 +13,6 @@ both adaptations:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.difficulty import DifficultyTable, next_multiples
 from repro.core.equality import variance_of_frequency

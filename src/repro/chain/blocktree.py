@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.chain.block import Block
-from repro.errors import DuplicateBlockError, UnknownParentError
+from repro.errors import DuplicateBlockError
 
 
 @dataclass

@@ -1,0 +1,241 @@
+"""Deterministic, seeded fault scheduling.
+
+A :class:`FaultPlan` is a frozen, ordered set of fault specs with absolute
+simulated times — pure data, hashable, serializable, and independent of the
+run it is applied to.  :func:`random_fault_plan` generates one from its own
+seeded generator (deliberately *not* the simulator's: generating a plan must
+never perturb the run's random stream, so the same experiment seed with and
+without faults stays comparable).  :class:`FaultScheduler` arms a plan onto
+a live :class:`~repro.chaos.faults.ChaosController` as plain simulator
+events.
+
+Replayability contract: the same plan applied to the same seeded experiment
+produces a bit-identical fault log (``fault_log_signature``) and an
+identical final chain — this is asserted by ``tests/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chaos.faults import (
+    ChaosController,
+    ClockSkewFault,
+    CrashFault,
+    FaultSpec,
+    LinkFault,
+    PartitionFault,
+)
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered fault injection schedule."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            fault.validate()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def crashed_nodes(self) -> set[int]:
+        """Every node id that crashes at some point under this plan."""
+        return {f.node for f in self.faults if isinstance(f, CrashFault)}
+
+    def permanently_down(self) -> set[int]:
+        """Node ids whose *last* crash never restarts."""
+        down: set[int] = set()
+        for fault in sorted(
+            (f for f in self.faults if isinstance(f, CrashFault)), key=lambda f: f.at
+        ):
+            if fault.restart_at is None:
+                down.add(fault.node)
+            else:
+                down.discard(fault.node)
+        return down
+
+    def max_time(self) -> float:
+        """Latest scheduled action in the plan."""
+        latest = 0.0
+        for fault in self.faults:
+            latest = max(latest, fault.at)
+            for attr in ("restart_at", "heal_at", "until"):
+                value = getattr(fault, attr, None)
+                if value is not None:
+                    latest = max(latest, value)
+        return latest
+
+    def sorted_faults(self) -> list[FaultSpec]:
+        return sorted(self.faults, key=lambda f: f.at)
+
+
+def random_fault_plan(
+    seed: int,
+    node_ids: Sequence[int],
+    duration: float,
+    *,
+    churn: float = 0.2,
+    crashes: int | None = None,
+    partitions: int = 0,
+    link_faults: int = 0,
+    clock_skews: int = 0,
+    max_skew: float = 2.0,
+    spare: int = 1,
+) -> FaultPlan:
+    """Generate a seeded random plan over ``[0, duration]`` simulated seconds.
+
+    Args:
+        seed: plan seed — same seed, same plan, independent of the run seed.
+        node_ids: fleet membership the plan draws victims from.
+        duration: the expected run length the fault windows are placed in.
+        churn: fraction of nodes that crash and restart (when ``crashes``
+            is not given) — 0.2 is the benchmark's "20 % node churn".
+        crashes: exact crash count, overriding ``churn``.
+        partitions: healing partitions to schedule (each splits off a random
+            minority group and heals within the run).
+        link_faults: lossy/duplicating/reordering link windows to schedule.
+        clock_skews: clock-skewed-mining windows to schedule.
+        max_skew: largest absolute clock offset, seconds.
+        spare: nodes guaranteed never to crash (observers need one).
+    """
+    if duration <= 0:
+        raise SimulationError("plan duration must be positive")
+    if not 0.0 <= churn <= 1.0:
+        raise SimulationError("churn must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ids = list(node_ids)
+    crash_count = crashes if crashes is not None else round(churn * len(ids))
+    crash_count = min(crash_count, max(0, len(ids) - max(spare, 0)))
+    faults: list[FaultSpec] = []
+
+    # Crash/restart churn: crashes land in the middle of the run so the
+    # bootstrap calibration stays clean, and every restart completes by 70%
+    # of the run — recovery (sync + at least one produced block) must be
+    # observable before the run ends.
+    if crash_count > 0:
+        victims = sorted(int(v) for v in rng.choice(ids, crash_count, replace=False))
+        for victim in victims:
+            at = float(rng.uniform(0.15, 0.45)) * duration
+            downtime = float(rng.uniform(0.08, 0.20)) * duration
+            faults.append(
+                CrashFault(node=victim, at=at, restart_at=min(at + downtime, 0.7 * duration))
+            )
+    else:
+        victims = []
+
+    never_crash = [i for i in ids if i not in set(victims)]
+
+    for _ in range(partitions):
+        # Split off a random minority (a quarter to a half of the fleet,
+        # at least one node) and heal within the run.
+        minority_size = max(1, int(rng.integers(len(ids) // 4 or 1, len(ids) // 2 + 1)))
+        minority = set(int(v) for v in rng.choice(ids, minority_size, replace=False))
+        majority = tuple(i for i in ids if i not in minority)
+        at = float(rng.uniform(0.15, 0.5)) * duration
+        heal_at = at + float(rng.uniform(0.08, 0.2)) * duration
+        faults.append(
+            PartitionFault(
+                groups=(majority, tuple(sorted(minority))),
+                at=at,
+                heal_at=min(heal_at, 0.85 * duration),
+            )
+        )
+
+    for _ in range(link_faults):
+        scope_size = max(2, len(ids) // 3)
+        scope = tuple(sorted(int(v) for v in rng.choice(ids, scope_size, replace=False)))
+        at = float(rng.uniform(0.1, 0.6)) * duration
+        until = at + float(rng.uniform(0.1, 0.25)) * duration
+        faults.append(
+            LinkFault(
+                at=at,
+                until=min(until, 0.9 * duration),
+                nodes=scope,
+                loss=float(rng.uniform(0.05, 0.25)),
+                duplicate=float(rng.uniform(0.0, 0.1)),
+                reorder_jitter=float(rng.uniform(0.0, 0.3)),
+                bandwidth_factor=float(rng.uniform(1.0, 3.0)),
+            )
+        )
+
+    for _ in range(clock_skews):
+        pool = never_crash or ids
+        node = int(pool[int(rng.integers(len(pool)))])
+        at = float(rng.uniform(0.1, 0.6)) * duration
+        until = at + float(rng.uniform(0.1, 0.3)) * duration
+        skew = float(rng.uniform(0.25 * max_skew, max_skew)) * (
+            1.0 if rng.random() < 0.5 else -1.0
+        )
+        faults.append(
+            ClockSkewFault(node=node, skew=skew, at=at, until=min(until, 0.9 * duration))
+        )
+
+    return FaultPlan(faults=tuple(sorted(faults, key=lambda f: (f.at, repr(f)))))
+
+
+class FaultScheduler:
+    """Arms a :class:`FaultPlan` onto a controller's simulator."""
+
+    def __init__(self, controller: ChaosController, plan: FaultPlan) -> None:
+        self.controller = controller
+        self.plan = plan
+        self._armed = False
+
+    def arm(self) -> "FaultScheduler":
+        """Schedule every fault action as a simulator event; idempotent."""
+        if self._armed:
+            return self
+        self._armed = True
+        sim = self.controller.sim
+        for index, fault in enumerate(self.plan.sorted_faults()):
+            if isinstance(fault, CrashFault):
+                sim.schedule_at(
+                    fault.at, lambda f=fault: self.controller.crash_node(f.node)
+                )
+                if fault.restart_at is not None:
+                    sim.schedule_at(
+                        fault.restart_at,
+                        lambda f=fault: self.controller.restart_node(f.node),
+                    )
+            elif isinstance(fault, PartitionFault):
+                sim.schedule_at(
+                    fault.at,
+                    lambda f=fault: self.controller.start_partition(f.groups),
+                )
+                if fault.heal_at is not None:
+                    sim.schedule_at(
+                        fault.heal_at, lambda: self.controller.heal_partition()
+                    )
+            elif isinstance(fault, LinkFault):
+                name = f"plan-link-{index}"
+                sim.schedule_at(
+                    fault.at,
+                    lambda f=fault, name=name: self.controller.apply_link_fault(
+                        f.disturbance(), f.nodes, name=name
+                    ),
+                )
+                if fault.until is not None:
+                    sim.schedule_at(
+                        fault.until,
+                        lambda name=name: self.controller.clear_link_fault(name),
+                    )
+            elif isinstance(fault, ClockSkewFault):
+                sim.schedule_at(
+                    fault.at,
+                    lambda f=fault: self.controller.set_clock_skew(f.node, f.skew),
+                )
+                if fault.until is not None:
+                    sim.schedule_at(
+                        fault.until,
+                        lambda f=fault: self.controller.clear_clock_skew(f.node),
+                    )
+            else:  # pragma: no cover - exhaustive over FaultSpec
+                raise SimulationError(f"unknown fault spec {fault!r}")
+        return self

@@ -25,7 +25,7 @@ committed chain; per-node block trees would all be identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.chain.block import BLOCK_VERSION, Block, BlockHeader
 from repro.consensus.base import (

@@ -29,8 +29,7 @@ Two workload modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal
+from dataclasses import dataclass
 
 from repro.chain.block import Block, sign_block
 from repro.chain.blocktree import BlockTree
@@ -43,8 +42,9 @@ from repro.ledger.executor import Executor
 from repro.ledger.mempool import Mempool
 from repro.ledger.state import AccountState
 from repro.mining.miner import RealMiner
-from repro.net.message import Message
+from repro.net.message import Message, is_sync_kind
 from repro.net.simulator import EventHandle
+from repro.node.sync import SyncConfig, SyncManager
 from repro.consensus.base import ConsensusNode, RunContext
 
 
@@ -66,6 +66,7 @@ class MiningNodeConfig:
         real_pow: grind real SHA-256 nonces instead of sampling the oracle.
             Implies puzzle verification on receipt.
         execute_ledger: carry and execute real transactions.
+        sync: chain-sync protocol tuning (timeouts, retries, backoff).
     """
 
     rule_kind: RuleKind = "geost"
@@ -77,6 +78,7 @@ class MiningNodeConfig:
     verify_signatures: bool = False
     real_pow: bool = False
     execute_ledger: bool = False
+    sync: SyncConfig = SyncConfig()
 
 
 def themis_config(**overrides) -> MiningNodeConfig:
@@ -147,8 +149,12 @@ class MiningNode(ConsensusNode):
         self.ledger = AccountState()
         self.builder = BlockBuilder(keypair=keypair, mempool=self.mempool)
         self.stats = MiningStats()
+        self.sync = SyncManager(self, config.sync)
+        self.clock_skew = 0.0
+        self.crashed = False
         self._mining_handle: EventHandle | None = None
         self._started = False
+        self._resume_after_sync = False
         self._last_sync_request = -1e18
 
     # -- lifecycle ----------------------------------------------------------------
@@ -164,6 +170,38 @@ class MiningNode(ConsensusNode):
         if self._mining_handle is not None:
             self._mining_handle.cancel()
             self._mining_handle = None
+
+    def crash(self) -> None:
+        """Simulate a process crash: go dark and lose volatile state.
+
+        The block tree survives (the chain store is durable); the mempool
+        and any in-flight sync are process memory and are lost.  The node's
+        endpoint goes offline, so deliveries already in flight toward it are
+        dropped (and counted) by the network.
+        """
+        self.stop()
+        self.sync.abort()
+        self.mempool.clear()
+        self._resume_after_sync = False
+        self.crashed = True
+        self.ctx.network.set_offline(self.node_id, True)
+
+    def restart(self, sync_peer: int | None = None) -> None:
+        """Rejoin after a crash: come back online, sync, then resume mining.
+
+        Mining stays paused until the sync protocol reports the node is at a
+        peer's tip (or gives up), so the first post-recovery block is mined
+        at the correct self-adaptive difficulty multiple for the current
+        epoch instead of on the stale pre-crash head.
+        """
+        self.ctx.network.set_offline(self.node_id, False)
+        self.crashed = False
+        self._resume_after_sync = True
+        self.sync.start_sync(sync_peer)
+
+    def local_time(self) -> float:
+        """This node's clock reading (simulated time plus any chaos skew)."""
+        return max(0.0, self.ctx.sim.now + self.clock_skew)
 
     # -- mining --------------------------------------------------------------------
 
@@ -192,7 +230,7 @@ class MiningNode(ConsensusNode):
         header = self.builder.build_header(
             parent=parent,
             transactions=transactions,
-            timestamp=self.ctx.sim.now,
+            timestamp=self.local_time(),
             multiple=multiple,
             base_difficulty=base,
             epoch=epoch,
@@ -236,8 +274,8 @@ class MiningNode(ConsensusNode):
     SYNC_COOLDOWN = 5.0
 
     def on_message(self, message: Message, from_peer: int) -> None:
-        if message.kind.startswith("sync/"):
-            self._handle_sync(message, from_peer)
+        if is_sync_kind(message.kind):
+            self.sync.on_message(message, from_peer)
             return
         if not self.ctx.network.gossip_deliver(self.node_id, from_peer, message):
             return
@@ -257,81 +295,34 @@ class MiningNode(ConsensusNode):
 
     # -- chain sync -------------------------------------------------------------------
 
-    #: Maximum blocks served per sync response.
-    SYNC_BATCH = 64
+    @property
+    def SYNC_BATCH(self) -> int:  # noqa: N802 - historical constant name
+        """Main-chain ids / blocks per sync page (see :class:`SyncConfig`)."""
+        return self.sync.config.batch
 
-    def _locator(self) -> list[bytes]:
-        """Bitcoin-style block locator: main-chain ids at the tip, then at
-        exponentially growing gaps back to genesis.
-
-        Lets a peer with a *diverged* history (offline node, healed
-        partition) find the highest common ancestor instead of assuming the
-        requester's chain is a prefix of the responder's.
-        """
-        chain = self.state.main_chain()
-        ids: list[bytes] = []
-        height = len(chain) - 1
-        step = 1
-        while height > 0:
-            ids.append(chain[height].block_id)
-            if len(ids) >= 8:
-                step *= 2
-            height -= step
-        ids.append(chain[0].block_id)  # genesis always matches
-        return ids
-
-    def request_sync(self, peer: int) -> None:
-        """Ask ``peer`` for main-chain blocks above our best common block.
+    def request_sync(self, peer: int | None = None) -> None:
+        """Start the catch-up protocol against ``peer`` (or rotate peers).
 
         A node that was offline (or that just joined the consortium through
-        the §IV-C governance flow) catches up by paging through a peer's
-        main chain; once a page comes back non-full it is at the tip and can
-        start mining.  Responses flow through the same validation as
-        gossiped blocks.
+        the §IV-C governance flow) pages in a peer's main chain through
+        :class:`~repro.node.sync.SyncManager`; once a headers page comes
+        back non-full it is at the tip.  Responses flow through the same
+        validation as gossiped blocks.
         """
-        locator = self._locator()
-        request = Message(
-            kind="sync/request",
-            payload={"locator": locator},
-            body_size=16 + 32 * len(locator),
-            origin=self.node_id,
-        )
-        self.ctx.network.unicast(self.node_id, peer, request)
+        self.sync.start_sync(peer)
 
-    def _handle_sync(self, message: Message, from_peer: int) -> None:
-        if message.kind == "sync/request":
-            chain = self.state.main_chain()
-            positions = {block.block_id: i for i, block in enumerate(chain)}
-            from_height = 1  # worst case: only genesis is shared
-            for block_id in message.payload["locator"]:
-                index = positions.get(block_id)
-                if index is not None:
-                    from_height = index + 1
-                    break
-            blocks = chain[from_height : from_height + self.SYNC_BATCH]
-            body = sum(
-                self.block_wire_size(
-                    len(b.transactions) if self.config.execute_ledger else self.config.batch_size,
-                    self.config.compact_blocks,
-                )
-                for b in blocks
-            )
-            response = Message(
-                kind="sync/response",
-                payload={"blocks": blocks, "full": len(blocks) == self.SYNC_BATCH},
-                body_size=body + 16,
-                origin=self.node_id,
-            )
-            self.ctx.network.unicast(self.node_id, from_peer, response)
-        elif message.kind == "sync/response":
-            for block in message.payload["blocks"]:
-                if block.block_id in self.state.tree:
-                    continue
-                self._handle_block(block)
-            if message.payload["full"]:
-                self.request_sync(from_peer)  # next page
-            elif self._started:
-                self._arm_miner()
+    def _on_sync_complete(self, success: bool) -> None:
+        """Sync finished (or gave up): resume mining on the fresh head.
+
+        After a :meth:`restart` the miner was held back until this point;
+        on failure it starts anyway — gossip and the orphan-triggered sync
+        path will eventually repair the gap.
+        """
+        if self._resume_after_sync:
+            self._resume_after_sync = False
+            self.start()
+        elif self._started:
+            self._arm_miner()
 
     def _table_for(self, block: Block) -> DifficultyTable:
         return self.state.table_for_block_height(block.parent_hash, block.height)

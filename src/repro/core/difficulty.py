@@ -25,7 +25,7 @@ information and the same rules ... without extra communication".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.crypto.hashing import T_MAX

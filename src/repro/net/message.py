@@ -18,6 +18,43 @@ _msg_counter = itertools.count()
 #: Fixed framing overhead charged per message (headers, kind tag, msg id).
 MESSAGE_OVERHEAD_BYTES = 64
 
+# -- message kinds ---------------------------------------------------------------
+#
+# Gossip kinds ("block", "tx", "pbft/*") flood the overlay with per-node
+# dedup.  Sync kinds are point-to-point request/response pairs used by the
+# chain-sync protocol (:mod:`repro.node.sync`): a recovering node first pulls
+# main-chain *header ids* above its best common ancestor, then fetches the
+# block bodies it is missing.
+
+KIND_BLOCK = "block"
+KIND_TX = "tx"
+
+#: Headers request: {"request_id", "locator"} — bitcoin-style block locator.
+KIND_SYNC_HEADERS_REQUEST = "sync/headers_req"
+#: Headers response: {"request_id", "start_height", "ids", "full"}.
+KIND_SYNC_HEADERS_RESPONSE = "sync/headers_resp"
+#: Bodies request: {"request_id", "ids"} — block ids the requester lacks.
+KIND_SYNC_BLOCKS_REQUEST = "sync/blocks_req"
+#: Bodies response: {"request_id", "blocks"}.
+KIND_SYNC_BLOCKS_RESPONSE = "sync/blocks_resp"
+
+#: Prefix shared by every chain-sync message kind.
+SYNC_KIND_PREFIX = "sync/"
+
+SYNC_KINDS = frozenset(
+    {
+        KIND_SYNC_HEADERS_REQUEST,
+        KIND_SYNC_HEADERS_RESPONSE,
+        KIND_SYNC_BLOCKS_REQUEST,
+        KIND_SYNC_BLOCKS_RESPONSE,
+    }
+)
+
+
+def is_sync_kind(kind: str) -> bool:
+    """True for point-to-point chain-sync messages (never gossiped)."""
+    return kind.startswith(SYNC_KIND_PREFIX)
+
 
 @dataclass(frozen=True)
 class Message:

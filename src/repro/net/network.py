@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import NetworkError
 from repro.net.latency import LinkModel
@@ -31,13 +31,63 @@ DropFilter = Callable[[Message], bool]
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters for overhead accounting (§VI-C)."""
+    """Aggregate traffic counters for overhead accounting (§VI-C).
+
+    ``messages_dropped`` counts every transfer the network swallowed instead
+    of delivering — sends to/from offline nodes, cross-partition traffic,
+    armed drop filters, and lossy links — broken down by cause in
+    ``drops_by_reason``.  Chaos experiments read these to verify a fault
+    actually bit; silently disappearing messages are not allowed.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
     bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     messages_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    drops_by_reason: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_drop(self, reason: str) -> None:
+        """Count one dropped transfer under ``reason``."""
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+
+
+@dataclass(frozen=True)
+class LinkDisturbance:
+    """A degraded-link regime applied to a subset of the overlay.
+
+    Models the transient WAN pathologies consensus must survive (lossy,
+    duplicating, reordering and throttled links).  All randomness is drawn
+    from the simulator's seeded generator, so disturbed runs stay
+    deterministic and replayable.
+
+    Attributes:
+        loss: probability a transfer is dropped outright.
+        duplicate: probability a delivered transfer arrives twice.
+        reorder_jitter: half-width of extra uniform delivery delay in
+            seconds; enough jitter breaks FIFO ordering between messages on
+            the same link.
+        bandwidth_factor: multiplier on serialization time (2.0 halves the
+            effective uplink rate).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder_jitter: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise NetworkError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise NetworkError(f"duplicate must be in [0, 1], got {self.duplicate}")
+        if self.reorder_jitter < 0:
+            raise NetworkError("reorder_jitter must be non-negative")
+        if self.bandwidth_factor < 1.0:
+            raise NetworkError("bandwidth_factor must be >= 1")
 
 
 class SimulatedNetwork:
@@ -58,6 +108,7 @@ class SimulatedNetwork:
         self._drop_filters: dict[int, DropFilter] = {}
         self._offline: set[int] = set()
         self._partition: dict[int, int] | None = None
+        self._disturbances: dict[str, tuple[frozenset[int] | None, LinkDisturbance]] = {}
         self.stats = NetworkStats()
 
     # -- membership -------------------------------------------------------------
@@ -130,32 +181,110 @@ class SimulatedNetwork:
             return False
         return src_group != dst_group
 
+    @property
+    def partition_map(self) -> dict[int, int] | None:
+        """Current node → partition-group assignment (``None`` when healed)."""
+        return dict(self._partition) if self._partition is not None else None
+
+    def partition_groups(self) -> list[set[int]] | None:
+        """Current partition as a list of node-id sets (``None`` when healed)."""
+        if self._partition is None:
+            return None
+        groups: dict[int, set[int]] = defaultdict(set)
+        for node, index in self._partition.items():
+            groups[index].add(node)
+        return [groups[i] for i in sorted(groups)]
+
+    def set_link_disturbance(
+        self,
+        name: str,
+        disturbance: LinkDisturbance | None,
+        nodes: Iterable[int] | None = None,
+    ) -> None:
+        """Install (or clear, with ``None``) a named link disturbance.
+
+        The disturbance applies to every transfer whose source *or*
+        destination is in ``nodes`` (every link when ``nodes`` is ``None``).
+        Several named disturbances may be active at once; they compose in
+        name order so replays are deterministic.
+        """
+        if disturbance is None:
+            self._disturbances.pop(name, None)
+            return
+        scope = frozenset(nodes) if nodes is not None else None
+        self._disturbances[name] = (scope, disturbance)
+
+    def active_disturbances(self) -> dict[str, LinkDisturbance]:
+        """Currently installed disturbances by name."""
+        return {name: dist for name, (_, dist) in self._disturbances.items()}
+
+    def _disturbances_for(self, src: int, dst: int) -> list[LinkDisturbance]:
+        matched = []
+        for name in sorted(self._disturbances):
+            scope, disturbance = self._disturbances[name]
+            if scope is None or src in scope or dst in scope:
+                matched.append(disturbance)
+        return matched
+
     # -- transmission ----------------------------------------------------------------
 
     def _transmit(self, src: int, dst: int, message: Message) -> None:
         """Queue one transfer on ``src``'s uplink and schedule the delivery."""
         if src in self._offline or dst in self._offline:
+            self.stats.record_drop("offline")
             return
         if self._crosses_partition(src, dst):
+            self.stats.record_drop("partition")
             return
         drop = self._drop_filters.get(src)
         if drop is not None and drop(message):
+            self.stats.record_drop("filtered")
             return
+        disturbances = self._disturbances_for(src, dst)
+        serialization = self.link.serialization_time(message.size)
+        extra_jitter = 0.0
+        duplicated = False
+        for disturbance in disturbances:
+            # Draw in a fixed order per disturbance so seeded replays match.
+            if disturbance.loss > 0.0 and self.sim.rng.random() < disturbance.loss:
+                self.stats.record_drop("loss")
+                return
+            serialization *= disturbance.bandwidth_factor
+            if disturbance.reorder_jitter > 0.0:
+                extra_jitter += float(
+                    self.sim.rng.uniform(0.0, disturbance.reorder_jitter)
+                )
+            if (
+                disturbance.duplicate > 0.0
+                and self.sim.rng.random() < disturbance.duplicate
+            ):
+                duplicated = True
         start = max(self.sim.now, self._uplink_free[src])
-        finish = start + self.link.serialization_time(message.size)
+        finish = start + serialization
         self._uplink_free[src] = finish
-        arrival = finish - self.sim.now + self.link.propagation_delay(self.sim.rng)
+        base_delay = finish - self.sim.now
+        arrival = base_delay + self.link.propagation_delay(self.sim.rng) + extra_jitter
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.size
         self.stats.bytes_by_kind[message.kind] += message.size
         self.stats.messages_by_kind[message.kind] += 1
         self.sim.schedule(arrival, lambda: self._deliver(dst, src, message))
+        if duplicated:
+            # The copy rides the same uplink slot but its own propagation
+            # draw, so it may arrive before or after the original.
+            self.stats.messages_duplicated += 1
+            copy_arrival = (
+                base_delay + self.link.propagation_delay(self.sim.rng) + extra_jitter
+            )
+            self.sim.schedule(copy_arrival, lambda: self._deliver(dst, src, message))
 
     def _deliver(self, dst: int, from_peer: int, message: Message) -> None:
         if dst in self._offline:
+            self.stats.record_drop("offline")
             return
         handler = self._handlers.get(dst)
         if handler is None:
+            self.stats.record_drop("detached")
             return
         self.stats.messages_delivered += 1
         handler(message, from_peer)

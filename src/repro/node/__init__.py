@@ -1,6 +1,26 @@
-"""Full consortium node: consensus + ledger + governance composition."""
+"""Full consortium node: consensus + ledger + governance composition.
 
-from repro.node.config import FullNodeConfig
-from repro.node.node import FullNode
+Exports are resolved lazily so that :mod:`repro.node.sync` (imported by the
+consensus layer) does not drag :mod:`repro.node.node` — which itself imports
+the consensus layer — into the import graph prematurely.
+"""
 
-__all__ = ["FullNode", "FullNodeConfig"]
+from typing import Any
+
+__all__ = ["FullNode", "FullNodeConfig", "SyncConfig", "SyncManager", "SyncStats"]
+
+
+def __getattr__(name: str) -> Any:
+    if name == "FullNode":
+        from repro.node.node import FullNode
+
+        return FullNode
+    if name == "FullNodeConfig":
+        from repro.node.config import FullNodeConfig
+
+        return FullNodeConfig
+    if name in ("SyncConfig", "SyncManager", "SyncStats"):
+        from repro.node import sync
+
+        return getattr(sync, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -83,6 +83,18 @@ class FullNode(MiningNode):
             state.credit(member, self.full_config.initial_balance)
         return state
 
+    # -- lifecycle ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the full node: volatile transaction state dies with it.
+
+        The in-flight nonce counter is process memory; after restart it is
+        re-derived from the executed ledger, which survives because it is a
+        pure function of the (durable) chain.
+        """
+        super().crash()
+        self._nonce = 0
+
     # -- transactions -------------------------------------------------------------
 
     def next_nonce(self) -> int:

@@ -1,0 +1,355 @@
+"""Block synchronization for recovering and late-joining nodes.
+
+A node that crashed, slept through a partition, or joined via the §IV-C
+governance flow holds a stale prefix of the main chain and must catch up
+before it can mine at the correct self-adaptive difficulty.  The
+:class:`SyncManager` runs a two-phase pull protocol over point-to-point
+messages (kinds declared in :mod:`repro.net.message`):
+
+1. **headers** — send a bitcoin-style block locator; the peer answers with
+   the main-chain block *ids* above the highest common ancestor (one page of
+   :attr:`SyncConfig.batch` ids, 32 bytes each on the wire);
+2. **blocks** — request the bodies of the ids the requester lacks; received
+   blocks flow through the same §III validation as gossiped ones.
+
+Pages repeat until a non-full headers page shows the requester is at the
+peer's tip.  Every outstanding request is guarded by a timeout with
+exponential backoff and bounded retries; each retry rotates to the next
+neighbor, so one dead or partitioned peer cannot wedge recovery.  All sync
+traffic is unicast (never gossiped) and stale responses — answers to a
+request that already timed out — are matched by request id and dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net.message import (
+    KIND_SYNC_BLOCKS_REQUEST,
+    KIND_SYNC_BLOCKS_RESPONSE,
+    KIND_SYNC_HEADERS_REQUEST,
+    KIND_SYNC_HEADERS_RESPONSE,
+    Message,
+)
+from repro.net.simulator import EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.consensus.powfamily import MiningNode
+
+#: Wire bytes per block id in headers/blocks requests and responses.
+BLOCK_ID_WIRE_BYTES = 32
+
+#: Fixed request/response envelope bytes beyond the id/body lists.
+SYNC_ENVELOPE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Tuning knobs for the sync protocol.
+
+    Attributes:
+        batch: main-chain ids served per headers page (and the cap on
+            bodies served per blocks request).
+        timeout: seconds before an unanswered request is retried.
+        backoff: timeout multiplier per retry (exponential backoff).
+        max_retries: retries per phase before the sync attempt is abandoned;
+            each retry rotates to the next neighbor.
+    """
+
+    batch: int = 64
+    timeout: float = 10.0
+    backoff: float = 2.0
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise SimulationError("sync batch must be >= 1")
+        if self.timeout <= 0:
+            raise SimulationError("sync timeout must be positive")
+        if self.backoff < 1.0:
+            raise SimulationError("sync backoff must be >= 1")
+        if self.max_retries < 0:
+            raise SimulationError("sync max_retries must be >= 0")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Timeout for the ``attempt``-th send (0 = first try)."""
+        return self.timeout * self.backoff**attempt
+
+
+@dataclass
+class SyncStats:
+    """Counters for one node's sync activity."""
+
+    syncs_started: int = 0
+    syncs_completed: int = 0
+    syncs_failed: int = 0
+    requests_sent: int = 0
+    responses_received: int = 0
+    stale_responses: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    headers_received: int = 0
+    blocks_received: int = 0
+
+
+class SyncManager:
+    """Drives (and serves) the chain-sync protocol for one node."""
+
+    def __init__(self, node: "MiningNode", config: SyncConfig | None = None) -> None:
+        self.node = node
+        self.config = config or SyncConfig()
+        self.stats = SyncStats()
+        self.active = False
+        self._phase: str | None = None  # "headers" | "blocks"
+        self._attempt = 0
+        self._peer: int | None = None
+        self._peer_offset = 0
+        self._request_id: str | None = None
+        self._request_counter = itertools.count()
+        self._timeout_handle: EventHandle | None = None
+        self._pending_ids: list[bytes] = []
+        self._page_full = False
+
+    # -- client side -------------------------------------------------------------
+
+    def start_sync(self, peer: int | None = None) -> None:
+        """Begin syncing from ``peer`` (or rotate through neighbors).
+
+        A no-op while a sync is already in flight — concurrent triggers
+        (orphan buffering plus an explicit restart) collapse into one run.
+        """
+        if self.active:
+            return
+        peers = self._peers()
+        if not peers:
+            self.node._on_sync_complete(success=False)
+            return
+        if peer is not None and peer in peers:
+            self._peer_offset = peers.index(peer)
+        self.active = True
+        self.stats.syncs_started += 1
+        self._attempt = 0
+        self._phase = "headers"
+        self._peer = peers[self._peer_offset % len(peers)]
+        self._send_current_request()
+
+    def abort(self) -> None:
+        """Drop any in-flight sync (crash path); no completion callback."""
+        self.active = False
+        self._phase = None
+        self._request_id = None
+        self._pending_ids = []
+        self._cancel_timeout()
+
+    def _peers(self) -> list[int]:
+        return sorted(self.node.ctx.network.adjacency.get(self.node.node_id, []))
+
+    def _next_request_id(self) -> str:
+        return f"{self.node.node_id}:{next(self._request_counter)}"
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+
+    def _send_current_request(self) -> None:
+        """(Re-)send the request for the current phase and arm its timeout."""
+        self._request_id = self._next_request_id()
+        if self._phase == "headers":
+            locator = self._locator()
+            payload = {"request_id": self._request_id, "locator": locator}
+            message = Message(
+                kind=KIND_SYNC_HEADERS_REQUEST,
+                payload=payload,
+                body_size=SYNC_ENVELOPE_BYTES + BLOCK_ID_WIRE_BYTES * len(locator),
+                origin=self.node.node_id,
+            )
+        else:
+            # Re-filter against the tree: gossip may have filled gaps while
+            # we waited, and a retry must not re-request what we now hold.
+            self._pending_ids = [
+                block_id
+                for block_id in self._pending_ids
+                if block_id not in self.node.state.tree
+            ]
+            if not self._pending_ids:
+                self._advance_after_blocks()
+                return
+            payload = {"request_id": self._request_id, "ids": list(self._pending_ids)}
+            message = Message(
+                kind=KIND_SYNC_BLOCKS_REQUEST,
+                payload=payload,
+                body_size=SYNC_ENVELOPE_BYTES
+                + BLOCK_ID_WIRE_BYTES * len(self._pending_ids),
+                origin=self.node.node_id,
+            )
+        self.stats.requests_sent += 1
+        self.node.ctx.network.unicast(self.node.node_id, self._peer, message)
+        self._cancel_timeout()
+        delay = self.config.retry_delay(self._attempt)
+        self._timeout_handle = self.node.ctx.sim.schedule(delay, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        if not self.active:
+            return
+        self._timeout_handle = None
+        self.stats.timeouts += 1
+        if self._attempt >= self.config.max_retries:
+            self._finish(success=False)
+            return
+        self._attempt += 1
+        self.stats.retries += 1
+        # Rotate to the next neighbor — the current peer may be down or on
+        # the wrong side of a partition.
+        peers = self._peers()
+        self._peer_offset = (self._peer_offset + 1) % len(peers)
+        self._peer = peers[self._peer_offset]
+        self._send_current_request()
+
+    def _locator(self) -> list[bytes]:
+        """Bitcoin-style block locator: main-chain ids at the tip, then at
+        exponentially growing gaps back to genesis.
+
+        Lets a peer with a *diverged* history (offline node, healed
+        partition) find the highest common ancestor instead of assuming the
+        requester's chain is a prefix of the responder's.
+        """
+        chain = self.node.state.main_chain()
+        ids: list[bytes] = []
+        height = len(chain) - 1
+        step = 1
+        while height > 0:
+            ids.append(chain[height].block_id)
+            if len(ids) >= 8:
+                step *= 2
+            height -= step
+        ids.append(chain[0].block_id)  # genesis always matches
+        return ids
+
+    # -- message dispatch -----------------------------------------------------------
+
+    def on_message(self, message: Message, from_peer: int) -> None:
+        """Handle any ``sync/*`` message (both protocol directions)."""
+        if message.kind == KIND_SYNC_HEADERS_REQUEST:
+            self._serve_headers(message, from_peer)
+        elif message.kind == KIND_SYNC_BLOCKS_REQUEST:
+            self._serve_blocks(message, from_peer)
+        elif message.kind == KIND_SYNC_HEADERS_RESPONSE:
+            self._on_headers_response(message)
+        elif message.kind == KIND_SYNC_BLOCKS_RESPONSE:
+            self._on_blocks_response(message)
+
+    # -- server side ---------------------------------------------------------------
+
+    def _serve_headers(self, message: Message, from_peer: int) -> None:
+        chain = self.node.state.main_chain()
+        positions = {block.block_id: i for i, block in enumerate(chain)}
+        from_height = 1  # worst case: only genesis is shared
+        for block_id in message.payload["locator"]:
+            index = positions.get(block_id)
+            if index is not None:
+                from_height = index + 1
+                break
+        ids = [b.block_id for b in chain[from_height : from_height + self.config.batch]]
+        response = Message(
+            kind=KIND_SYNC_HEADERS_RESPONSE,
+            payload={
+                "request_id": message.payload["request_id"],
+                "start_height": from_height,
+                "ids": ids,
+                "full": len(ids) == self.config.batch,
+            },
+            body_size=SYNC_ENVELOPE_BYTES + BLOCK_ID_WIRE_BYTES * len(ids),
+            origin=self.node.node_id,
+        )
+        self.node.ctx.network.unicast(self.node.node_id, from_peer, response)
+
+    def _serve_blocks(self, message: Message, from_peer: int) -> None:
+        tree = self.node.state.tree
+        blocks = []
+        for block_id in message.payload["ids"][: self.config.batch]:
+            if tree.has_block(block_id):
+                blocks.append(tree.get(block_id))
+        body = sum(
+            self.node.block_wire_size(
+                len(b.transactions)
+                if self.node.config.execute_ledger
+                else self.node.config.batch_size,
+                self.node.config.compact_blocks,
+            )
+            for b in blocks
+        )
+        response = Message(
+            kind=KIND_SYNC_BLOCKS_RESPONSE,
+            payload={"request_id": message.payload["request_id"], "blocks": blocks},
+            body_size=SYNC_ENVELOPE_BYTES + body,
+            origin=self.node.node_id,
+        )
+        self.node.ctx.network.unicast(self.node.node_id, from_peer, response)
+
+    # -- client responses ------------------------------------------------------------
+
+    def _matches(self, message: Message) -> bool:
+        if not self.active or message.payload.get("request_id") != self._request_id:
+            self.stats.stale_responses += 1
+            return False
+        return True
+
+    def _on_headers_response(self, message: Message) -> None:
+        if not self._matches(message) or self._phase != "headers":
+            return
+        self._cancel_timeout()
+        self.stats.responses_received += 1
+        ids = message.payload["ids"]
+        self.stats.headers_received += len(ids)
+        self._page_full = message.payload["full"]
+        missing = [
+            block_id for block_id in ids if block_id not in self.node.state.tree
+        ]
+        if missing:
+            self._phase = "blocks"
+            self._attempt = 0
+            self._pending_ids = missing
+            self._send_current_request()
+        elif self._page_full:
+            # Everything on this page arrived via gossip already: next page.
+            self._phase = "headers"
+            self._attempt = 0
+            self._send_current_request()
+        else:
+            self._finish(success=True)
+
+    def _on_blocks_response(self, message: Message) -> None:
+        if not self._matches(message) or self._phase != "blocks":
+            return
+        self._cancel_timeout()
+        self.stats.responses_received += 1
+        for block in message.payload["blocks"]:
+            if block.block_id in self.node.state.tree:
+                continue
+            self.stats.blocks_received += 1
+            self.node._handle_block(block)
+        self._advance_after_blocks()
+
+    def _advance_after_blocks(self) -> None:
+        if self._page_full:
+            self._phase = "headers"
+            self._attempt = 0
+            self._send_current_request()
+        else:
+            self._finish(success=True)
+
+    def _finish(self, success: bool) -> None:
+        self._cancel_timeout()
+        self.active = False
+        self._phase = None
+        self._request_id = None
+        self._pending_ids = []
+        if success:
+            self.stats.syncs_completed += 1
+        else:
+            self.stats.syncs_failed += 1
+        self.node._on_sync_complete(success=success)

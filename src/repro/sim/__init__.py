@@ -20,7 +20,14 @@ from repro.sim.metrics import (
     unpredictability_series,
 )
 from repro.sim.reporting import ascii_chart, load_results, result_to_dict, save_results, summary_line
-from repro.sim.runner import Algorithm, ExperimentConfig, RunResult, run_experiment
+from repro.sim.runner import (
+    Algorithm,
+    ChaosSuiteResult,
+    ExperimentConfig,
+    RunResult,
+    run_chaos_suite,
+    run_experiment,
+)
 from repro.sim.scenarios import (
     ALL_ALGORITHMS,
     POW_FAMILY,
@@ -37,6 +44,7 @@ from repro.sim.workload import TransactionWorkload, make_transfer_batch
 __all__ = [
     "ALL_ALGORITHMS",
     "Algorithm",
+    "ChaosSuiteResult",
     "ExperimentConfig",
     "ForkReport",
     "POW_FAMILY",
@@ -71,6 +79,7 @@ __all__ = [
     "probability_vector_for_epoch",
     "load_results",
     "result_to_dict",
+    "run_chaos_suite",
     "run_experiment",
     "save_results",
     "summary_line",

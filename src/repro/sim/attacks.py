@@ -34,10 +34,18 @@ from repro.net.network import SimulatedNetwork
 
 @dataclass
 class VulnerableNodeAttack:
-    """Suppresses block production of a fraction of nodes (Fig. 7)."""
+    """Suppresses block production of a fraction of nodes (Fig. 7).
+
+    Also usable as a context manager for scoped attack windows::
+
+        with VulnerableNodeAttack(network, victims=[3, 7]):
+            sim.run(until=...)
+        # filters removed here, even if the run raised
+    """
 
     network: SimulatedNetwork
     victims: list[int] = field(default_factory=list)
+    armed: bool = field(default=False, init=False)
 
     @classmethod
     def select(
@@ -59,7 +67,10 @@ class VulnerableNodeAttack:
         return attack
 
     def arm(self) -> None:
-        """Install outbound drop filters on every victim."""
+        """Install outbound drop filters on every victim (idempotent)."""
+        if self.armed:
+            return
+        self.armed = True
         suppressed_kinds = ("block", "pbft/pre-prepare")
         for victim in self.victims:
             self.network.set_drop_filter(
@@ -70,9 +81,20 @@ class VulnerableNodeAttack:
             )
 
     def disarm(self) -> None:
-        """Remove all drop filters."""
+        """Remove all drop filters (idempotent — safe to call twice, or on
+        a never-armed attack, without clobbering filters installed later)."""
+        if not self.armed:
+            return
+        self.armed = False
         for victim in self.victims:
             self.network.set_drop_filter(victim, None)
+
+    def __enter__(self) -> "VulnerableNodeAttack":
+        self.arm()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.disarm()
 
 
 class SelfishMiner(MiningNode):

@@ -10,6 +10,10 @@ Implements the paper's four metrics over simulation outputs:
   winning a round is the effective-power share (Eq. 3);
 * **TPS** — committed transactions per simulated second (Fig. 6, Fig. 7);
 * **fork rate and fork duration** over the final block tree (Fig. 8).
+
+Chaos experiments additionally get a :class:`ChaosReport` — per-fault
+counters plus recovery evidence (how many restarted nodes produced again) —
+and :func:`degradation_ratio` for graceful-degradation assertions.
 """
 
 from __future__ import annotations
@@ -226,3 +230,75 @@ def _subtree_max_height(tree: BlockTree, block_id: bytes) -> int:
         best = max(best, height)
         stack.extend(tree.children(current))
     return best
+
+
+# -- Chaos (fault-injection runs) --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Per-fault counters and recovery evidence for one chaos run."""
+
+    crashes: int
+    restarts: int
+    partitions: int
+    heals: int
+    link_faults: int
+    clock_skews: int
+    messages_dropped: int
+    messages_duplicated: int
+    recovered_producers: int
+    invariant_checks: int
+    invariant_violations: int
+
+    def summary(self) -> str:
+        return (
+            f"chaos: {self.crashes} crashes ({self.recovered_producers} recovered "
+            f"producers), {self.partitions} partitions ({self.heals} healed), "
+            f"{self.link_faults} link faults, {self.clock_skews} clock skews, "
+            f"{self.messages_dropped} msgs dropped, "
+            f"{self.invariant_checks} invariant checks "
+            f"({self.invariant_violations} violations)"
+        )
+
+
+def chaos_report(controller, network_stats, monitor=None) -> ChaosReport:
+    """Summarize a run's injected faults and their observable impact.
+
+    Args:
+        controller: the run's :class:`~repro.chaos.faults.ChaosController`.
+        network_stats: the run's :class:`~repro.net.network.NetworkStats`.
+        monitor: optional :class:`~repro.chaos.invariants.InvariantMonitor`.
+    """
+    stats = controller.stats
+    checks = monitor.report.checks_run if monitor is not None else 0
+    violations = (
+        monitor.report.safety_violations + monitor.report.liveness_violations
+        if monitor is not None
+        else 0
+    )
+    return ChaosReport(
+        crashes=stats.crashes,
+        restarts=stats.restarts,
+        partitions=stats.partitions_started,
+        heals=stats.partitions_healed,
+        link_faults=stats.link_faults_applied,
+        clock_skews=stats.clock_skews_applied,
+        messages_dropped=network_stats.messages_dropped,
+        messages_duplicated=network_stats.messages_duplicated,
+        recovered_producers=controller.recovered_producer_count(),
+        invariant_checks=checks,
+        invariant_violations=violations,
+    )
+
+
+def degradation_ratio(baseline: float, degraded: float) -> float:
+    """``degraded / baseline`` — 1.0 means no impact, 0.0 means collapse.
+
+    The graceful-degradation contract of the chaos benchmarks: under 20 %
+    node churn TPS and σ_f² should *degrade*, not collapse, so ratios are
+    asserted against a floor rather than equality.
+    """
+    if baseline <= 0:
+        raise SimulationError("baseline must be positive")
+    return degraded / baseline

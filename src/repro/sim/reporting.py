@@ -35,9 +35,28 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
             "messages_sent": result.network.messages_sent,
             "bytes_sent": result.network.bytes_sent,
             "messages_delivered": result.network.messages_delivered,
+            "messages_dropped": result.network.messages_dropped,
+            "messages_duplicated": result.network.messages_duplicated,
+            "drops_by_reason": dict(result.network.drops_by_reason),
             "bytes_by_kind": dict(result.network.bytes_by_kind),
         },
     }
+    if result.chaos is not None:
+        record["chaos"] = asdict(result.chaos)
+    if result.invariants is not None:
+        record["invariants"] = {
+            "clean": result.invariants.clean,
+            "checks_run": result.invariants.checks_run,
+            "safety_violations": result.invariants.safety_violations,
+            "liveness_violations": result.invariants.liveness_violations,
+            "max_height_seen": result.invariants.max_height_seen,
+            "violations": list(result.invariants.violations),
+        }
+    if result.fault_log:
+        record["fault_log"] = [
+            {"time": e.time, "action": e.action, "detail": dict(e.detail)}
+            for e in result.fault_log
+        ]
     if result.fork is not None:
         record["fork"] = {
             "total_blocks": result.fork.total_blocks,

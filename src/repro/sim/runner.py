@@ -16,13 +16,13 @@ All four §VII-B algorithms are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal
+from dataclasses import dataclass, field, replace
+from typing import Literal, Sequence
 
-import numpy as np
-
-from repro.chain.block import Block
 from repro.chain.genesis import make_genesis
+from repro.chaos.faults import ChaosController, FaultEvent
+from repro.chaos.invariants import InvariantConfig, InvariantMonitor, InvariantReport
+from repro.chaos.schedule import FaultPlan, FaultScheduler, random_fault_plan
 from repro.consensus.base import RunContext
 from repro.consensus.pbft import PBFTCluster, PBFTConfig
 from repro.consensus.powfamily import (
@@ -43,11 +43,14 @@ from repro.net.simulator import Simulator
 from repro.net.topology import complete_topology, random_regular_topology
 from repro.sim.attacks import VulnerableNodeAttack
 from repro.sim.metrics import (
+    ChaosReport,
     ForkReport,
+    chaos_report,
     committed_tps,
     equality_series,
     equality_series_from_producers,
     fork_report,
+    stable_value,
     unpredictability_series,
 )
 
@@ -78,6 +81,14 @@ class ExperimentConfig:
         bandwidth_bps / min_delay: §VII-A link parameters.
         max_sim_time: simulated-seconds safety cap.
         max_events: event-count safety cap.
+        fault_plan: optional chaos schedule (crashes, partitions, link
+            degradation, clock skew) armed onto the run; PoW-family only.
+        monitor_invariants: run the safety/liveness invariant monitor
+            continuously during PoW-family runs, failing fast on violation.
+        confirmation_depth: settled-prefix depth for the safety monitor.
+        invariant_check_interval: simulated seconds between monitor sweeps.
+        liveness_window: no-growth tolerance in seconds; defaults (None) to
+            ``100 · i0``.
     """
 
     algorithm: Algorithm = "themis"
@@ -101,6 +112,11 @@ class ExperimentConfig:
     min_delay: float = 0.100
     max_sim_time: float = 10_000_000.0
     max_events: int = 200_000_000
+    fault_plan: FaultPlan | None = None
+    monitor_invariants: bool = True
+    confirmation_depth: int = 16
+    invariant_check_interval: float = 20.0
+    liveness_window: float | None = None
 
     def difficulty_params(self) -> DifficultyParams:
         scale = 1.0
@@ -141,6 +157,9 @@ class RunResult:
     observer: MiningNode | None = None
     pbft: PBFTCluster | None = None
     view_changes: int = 0
+    chaos: ChaosReport | None = None
+    invariants: InvariantReport | None = None
+    fault_log: tuple[FaultEvent, ...] = ()
 
     @property
     def epoch_blocks(self) -> int:
@@ -196,6 +215,30 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
         attack = VulnerableNodeAttack.select(
             ctx.network, list(range(cfg.n)), cfg.vulnerable_ratio, ctx.sim.rng
         )
+    controller = None
+    if cfg.fault_plan is not None and len(cfg.fault_plan):
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        FaultScheduler(controller, cfg.fault_plan).arm()
+    monitor = None
+    if cfg.monitor_invariants:
+        monitor = InvariantMonitor(
+            nodes,
+            ctx.network,
+            ctx.sim,
+            InvariantConfig(
+                confirmation_depth=cfg.confirmation_depth,
+                check_interval=cfg.invariant_check_interval,
+                liveness_window=(
+                    cfg.liveness_window
+                    if cfg.liveness_window is not None
+                    else 100.0 * cfg.i0
+                ),
+            ),
+            # Censored producers diverge by design; §VII-D's claim is about
+            # the surviving nodes, so victims sit outside the cross-checks.
+            exclude=attack.victims if attack is not None else (),
+        )
+        monitor.start()
     for node in nodes:
         node.start()
 
@@ -208,16 +251,25 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
         if cfg.target_height is not None
         else cfg.epochs * epoch_blocks
     )
-    # Observe via a non-vulnerable node so suppressed blocks don't skew the
-    # observer's view of the main chain.
-    victims = set(attack.victims) if attack else set()
-    observer = next(nodes[i] for i in range(cfg.n) if i not in victims)
+    # Observe via a non-vulnerable node that never crashes, so suppressed
+    # blocks and downtime don't skew the observer's view of the main chain.
+    excluded = set(attack.victims) if attack else set()
+    if cfg.fault_plan is not None:
+        excluded |= cfg.fault_plan.crashed_nodes()
+    try:
+        observer = next(nodes[i] for i in range(cfg.n) if i not in excluded)
+    except StopIteration:
+        raise SimulationError(
+            "no node is both attack-free and crash-free to observe the run"
+        ) from None
 
     ctx.sim.run(
         until=cfg.max_sim_time,
         max_events=cfg.max_events,
         stop_when=lambda: observer.state.height() >= target_height,
     )
+    if monitor is not None:
+        monitor.stop()
     if observer.state.height() < target_height:
         raise SimulationError(
             f"run ended at height {observer.state.height()} < {target_height} "
@@ -253,10 +305,22 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
         network=ctx.network.stats,
         members=list(ctx.members),
         observer=observer,
+        chaos=(
+            chaos_report(controller, ctx.network.stats, monitor)
+            if controller is not None
+            else None
+        ),
+        invariants=monitor.report if monitor is not None else None,
+        fault_log=tuple(controller.log) if controller is not None else (),
     )
 
 
 def _run_pbft(cfg: ExperimentConfig) -> RunResult:
+    if cfg.fault_plan is not None:
+        raise SimulationError(
+            "fault plans target the PoW-family crash/sync path; PBFT runs "
+            "do not support chaos injection"
+        )
     ctx, _profile, keys = _build_context(cfg)
     cluster = PBFTCluster(ctx, keys, PBFTConfig(batch_size=cfg.batch_size))
     attack = None
@@ -294,3 +358,122 @@ def _run_pbft(cfg: ExperimentConfig) -> RunResult:
         pbft=cluster,
         view_changes=cluster.stats.view_changes,
     )
+
+
+# -- chaos suite -------------------------------------------------------------------
+
+
+@dataclass
+class ChaosSuiteResult:
+    """A baseline run paired with one or more faulted replays of it.
+
+    The graceful-degradation evidence for ``benchmarks/test_chaos_recovery.py``:
+    under churn TPS drops (ratio < 1) and equality variance grows (ratio > 1),
+    but neither collapses, and every invariant sweep stays clean.
+    """
+
+    baseline: RunResult
+    chaos_runs: list[RunResult]
+    plans: list[FaultPlan]
+
+    def tps_ratios(self) -> list[float]:
+        """Per-run ``chaos TPS / baseline TPS`` (1.0 = unaffected)."""
+        from repro.sim.metrics import degradation_ratio
+
+        return [degradation_ratio(self.baseline.tps, r.tps) for r in self.chaos_runs]
+
+    def equality_ratios(self) -> list[float]:
+        """Per-run ``chaos σ_f² / baseline σ_f²`` over the stable tail.
+
+        σ_f² is a variance — *larger* is worse — so graceful degradation
+        means ratios stay bounded above 0 and below a blow-up ceiling.
+        """
+        from repro.sim.metrics import degradation_ratio
+
+        base = stable_value(self.baseline.equality, robust=True)
+        return [
+            degradation_ratio(base, stable_value(r.equality, robust=True))
+            for r in self.chaos_runs
+        ]
+
+    def all_invariants_clean(self) -> bool:
+        """True when no faulted run tripped a safety or liveness monitor."""
+        return all(
+            r.invariants is None or r.invariants.clean for r in self.chaos_runs
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"baseline: tps={self.baseline.tps:.1f} "
+            f"sigma_f2={stable_value(self.baseline.equality, robust=True):.3f}"
+        ]
+        for index, (run, tps_ratio, eq_ratio) in enumerate(
+            zip(self.chaos_runs, self.tps_ratios(), self.equality_ratios())
+        ):
+            chaos = run.chaos.summary() if run.chaos else "no faults applied"
+            lines.append(
+                f"plan {index}: tps x{tps_ratio:.2f} "
+                f"sigma_f2 x{eq_ratio:.2f} | {chaos}"
+            )
+        return "\n".join(lines)
+
+
+def run_chaos_suite(
+    cfg: ExperimentConfig,
+    plans: Sequence[FaultPlan] | None = None,
+    *,
+    runs: int = 1,
+    churn: float = 0.2,
+    partitions: int = 0,
+    link_faults: int = 0,
+    clock_skews: int = 0,
+    plan_seed: int | None = None,
+) -> ChaosSuiteResult:
+    """Run a clean baseline plus faulted replays of the same experiment.
+
+    The baseline strips any fault plan from ``cfg``; each chaos run replays
+    the identical experiment (same seed, same topology, same power profile)
+    under a generated or caller-supplied :class:`FaultPlan`, so every
+    difference in the metrics is attributable to the injected faults.
+
+    Args:
+        cfg: the experiment to perturb (PoW family only).
+        plans: explicit fault plans; generated when None.
+        runs: generated-plan count (ignored when ``plans`` is given).
+        churn: crash/restart fraction for generated plans (0.2 = the
+            benchmark's 20 % node churn).
+        partitions / link_faults / clock_skews: extra generated faults.
+        plan_seed: base seed for plan generation; defaults to
+            ``cfg.seed + 7919`` so plans never collide with the run seed.
+    """
+    if cfg.algorithm == "pbft":
+        raise SimulationError("chaos suites target the PoW-family algorithms")
+    baseline = run_experiment(replace(cfg, fault_plan=None))
+    if plans is None:
+        # Place fault windows within the expected span of the run: the
+        # baseline actually measured how long this experiment takes.  The
+        # head timestamp covers the full run including the warmup that
+        # RunResult.duration excludes.
+        if baseline.observer is not None:
+            duration = baseline.observer.main_chain()[-1].header.timestamp
+        else:  # pragma: no cover - mining runs always have an observer
+            duration = baseline.duration
+        duration = max(duration, cfg.i0)
+        base_seed = plan_seed if plan_seed is not None else cfg.seed + 7919
+        plans = [
+            random_fault_plan(
+                base_seed + i,
+                list(range(cfg.n)),
+                duration,
+                churn=churn,
+                partitions=partitions,
+                link_faults=link_faults,
+                clock_skews=clock_skews,
+            )
+            for i in range(runs)
+        ]
+    plan_list = list(plans)
+    chaos_runs = [
+        run_experiment(replace(cfg, fault_plan=plan)) for plan in plan_list
+    ]
+    return ChaosSuiteResult(baseline=baseline, chaos_runs=chaos_runs, plans=plan_list)

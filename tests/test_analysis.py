@@ -9,7 +9,6 @@ import pytest
 
 from repro.analysis.comparison import (
     LITERATURE_ROWS,
-    AlgorithmRow,
     Grade,
     format_table,
     grade_equality,

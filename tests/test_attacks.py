@@ -61,10 +61,41 @@ class TestVulnerableNodes:
         producers = {b.producer for b in nodes[1].main_chain()[1:]}
         assert nodes[0].address in producers
 
+    def test_arm_disarm_idempotent(self):
+        ctx, nodes = make_fleet(4, seed=8)
+        attack = VulnerableNodeAttack(network=ctx.network, victims=[0])
+        attack.arm()
+        attack.arm()  # second arm must not stack a duplicate filter
+        assert attack.armed
+        attack.disarm()
+        attack.disarm()  # and disarm after disarm is a no-op
+        assert not attack.armed
+        run_to_height(ctx, nodes, 15)
+        producers = {b.producer for b in nodes[1].main_chain()[1:]}
+        assert nodes[0].address in producers
+
+    def test_context_manager_disarms(self):
+        ctx, nodes = make_fleet(4, seed=8)
+        attack = VulnerableNodeAttack(network=ctx.network, victims=[0])
+        with attack as armed:
+            assert armed is attack
+            assert attack.armed
+        assert not attack.armed
+        run_to_height(ctx, nodes, 15)
+        producers = {b.producer for b in nodes[1].main_chain()[1:]}
+        assert nodes[0].address in producers
+
+    def test_context_manager_disarms_on_exception(self):
+        ctx, nodes = make_fleet(4, seed=8)
+        attack = VulnerableNodeAttack(network=ctx.network, victims=[0])
+        with pytest.raises(RuntimeError):
+            with attack:
+                raise RuntimeError("boom")
+        assert not attack.armed
+
 
 class TestSelfishMiner:
     def _fleet_with_attacker(self, seed=3, attacker_power=3.0):
-        from repro.consensus.base import RunContext
 
         ctx, nodes = make_fleet(4, seed=seed)
         # Replace node 0 with a selfish miner of outsized power.

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.chain.audit import ChainAuditor
-from repro.chain.block import Block, build_block
+from repro.chain.block import build_block
 from repro.core.difficulty import DifficultyParams
 from repro.errors import ChainError
 

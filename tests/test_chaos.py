@@ -1,0 +1,377 @@
+"""Tests for the chaos subsystem: fault injection, recovery, invariants."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    ClockSkewFault,
+    CrashFault,
+    FaultPlan,
+    FaultScheduler,
+    InvariantConfig,
+    InvariantMonitor,
+    LinkFault,
+    LivenessViolation,
+    PartitionFault,
+    SafetyViolation,
+    fault_log_signature,
+    random_fault_plan,
+)
+from repro.consensus.powfamily import powh_config, themis_config
+from repro.errors import SimulationError
+from repro.net.message import KIND_SYNC_HEADERS_RESPONSE, is_sync_kind
+from repro.node.sync import SyncConfig
+from repro.sim.runner import ExperimentConfig, run_experiment
+
+from tests.test_fullnode import addr, make_consortium
+from tests.test_powfamily import make_fleet
+
+
+class TestFaultSpecs:
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(SimulationError):
+            CrashFault(node=0, at=10.0, restart_at=5.0).validate()
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(SimulationError):
+            PartitionFault(groups=((0, 1),), at=1.0).validate()
+
+    def test_partition_groups_must_be_nonempty(self):
+        with pytest.raises(SimulationError):
+            PartitionFault(groups=((0, 1), ()), at=1.0).validate()
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(SimulationError):
+            PartitionFault(groups=((0, 1), (1, 2)), at=1.0).validate()
+
+    def test_link_fault_window_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            LinkFault(at=5.0, until=5.0).validate()
+
+    def test_plan_validates_on_construction(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(faults=(ClockSkewFault(node=0, skew=1.0, at=-1.0),))
+
+    def test_plan_crashed_and_permanently_down(self):
+        plan = FaultPlan(
+            faults=(
+                CrashFault(node=1, at=10.0, restart_at=20.0),
+                CrashFault(node=2, at=10.0),
+            )
+        )
+        assert plan.crashed_nodes() == {1, 2}
+        assert plan.permanently_down() == {2}
+        assert plan.max_time() == 20.0
+
+
+class TestRandomFaultPlan:
+    def test_same_seed_same_plan(self):
+        ids = list(range(10))
+        a = random_fault_plan(7, ids, 1000.0, partitions=1, link_faults=1, clock_skews=1)
+        b = random_fault_plan(7, ids, 1000.0, partitions=1, link_faults=1, clock_skews=1)
+        assert a == b
+        assert random_fault_plan(8, ids, 1000.0) != a
+
+    def test_churn_and_spare_respected(self):
+        plan = random_fault_plan(3, list(range(10)), 500.0, churn=0.2)
+        crashes = [f for f in plan.faults if isinstance(f, CrashFault)]
+        assert len(crashes) == 2
+        for fault in crashes:
+            assert 0 <= fault.at < fault.restart_at <= 0.85 * 500.0
+
+    def test_spare_caps_crash_count(self):
+        plan = random_fault_plan(3, list(range(4)), 500.0, churn=1.0, spare=2)
+        assert len(plan.crashed_nodes()) == 2
+
+
+class TestChaosController:
+    def test_crash_and_restart_are_idempotent(self):
+        ctx, nodes = make_fleet(4, seed=5)
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        controller.restart_node(2)  # not crashed: no-op
+        controller.crash_node(2)
+        controller.crash_node(2)
+        assert controller.stats.crashes == 1
+        assert nodes[2].crashed and ctx.network.is_offline(2)
+        controller.restart_node(2)
+        controller.restart_node(2)
+        assert controller.stats.restarts == 1
+        assert not nodes[2].crashed and not ctx.network.is_offline(2)
+        assert controller.restarted_nodes == {2}
+
+    def test_unknown_target_rejected(self):
+        ctx, nodes = make_fleet(3, seed=5)
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        with pytest.raises(SimulationError):
+            controller.crash_node(99)
+
+    def test_partition_heal_and_log(self):
+        ctx, nodes = make_fleet(4, seed=5)
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        controller.heal_partition()  # nothing armed: no-op
+        controller.start_partition([[0, 1], [2, 3]])
+        assert ctx.network.partition_groups() == [{0, 1}, {2, 3}]
+        controller.heal_partition()
+        assert ctx.network.partition_map is None
+        actions = [event.action for event in controller.log]
+        assert actions == ["partition", "heal"]
+
+    def test_clock_skew_applies_and_clears(self):
+        ctx, nodes = make_fleet(3, seed=5)
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        controller.set_clock_skew(1, 1.5)
+        assert nodes[1].local_time() == pytest.approx(ctx.sim.now + 1.5)
+        controller.clear_clock_skew(1)
+        controller.clear_clock_skew(1)  # already cleared: no-op
+        assert nodes[1].local_time() == pytest.approx(ctx.sim.now)
+        assert controller.stats.clock_skews_cleared == 1
+
+
+class TestCrashRecovery:
+    def _sync_fleet(self, timeout=2.0):
+        base = themis_config(hash_rate=1.0)
+        cfg = replace(base, sync=SyncConfig(timeout=timeout, max_retries=4))
+        return make_fleet(4, configs=[cfg] * 4, seed=6)
+
+    def test_recovery_after_forced_timeout_and_retry(self):
+        """A crashed node recovers even when its first sync attempts die.
+
+        Healthy peers drop sync responses for a while after the restart, so
+        the first request(s) time out and the manager must retry with backoff
+        before the chain pages in.
+        """
+        ctx, nodes = self._sync_fleet()
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 15)
+        controller.crash_node(3)
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 30)
+        assert nodes[3].state.height() < 25  # provably stale
+
+        # Black-hole every sync response until one timeout has fired.
+        for peer in (0, 1, 2):
+            ctx.network.set_drop_filter(
+                peer, lambda msg: msg.kind == KIND_SYNC_HEADERS_RESPONSE
+            )
+        blackhole_until = ctx.sim.now + 3.0
+        ctx.sim.schedule_at(
+            blackhole_until,
+            lambda: [ctx.network.set_drop_filter(p, None) for p in (0, 1, 2)],
+        )
+        controller.restart_node(3)
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 70, max_events=5_000_000)
+
+        sync = nodes[3].sync
+        assert sync.stats.timeouts >= 1 and sync.stats.retries >= 1
+        assert sync.stats.syncs_completed >= 1
+        assert nodes[3].state.height() >= nodes[0].state.height() - 3
+        assert controller.recovered_producer_count() == 1
+
+    def test_crash_loses_volatile_state_and_goes_offline(self):
+        ctx, nodes = self._sync_fleet()
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 10)
+        height_at_crash = nodes[3].state.height()
+        nodes[3].crash()
+        assert nodes[3].crashed and ctx.network.is_offline(3)
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 25)
+        # Chain store is durable, but nothing new arrived while down.
+        assert nodes[3].state.height() == height_at_crash
+
+    def test_fullnode_state_root_matches_after_recovery(self):
+        ctx, nodes = make_consortium(4, seed=11, verify=False)
+        for node in nodes:
+            node.start()
+        nodes[0].pay(addr(1), 100)
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 8)
+        nodes[3].crash()
+        nodes[1].pay(addr(2), 75)
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 20)
+        nodes[3].restart(sync_peer=0)
+        ctx.sim.run(
+            stop_when=lambda: not nodes[3].sync.active
+            and nodes[3].state.height() >= nodes[0].state.height()
+        )
+        ctx.sim.run(until=ctx.sim.now + 30.0)  # drain in-flight gossip
+        prefix = min(nodes[3].state.height(), nodes[0].state.height())
+        assert (
+            nodes[3].main_chain()[prefix].block_id
+            == nodes[0].main_chain()[prefix].block_id
+        )
+        # Same head implies the re-executed ledger must agree exactly.
+        if nodes[3].state.head_id == nodes[0].state.head_id:
+            assert nodes[3].state_root() == nodes[0].state_root()
+
+
+class TestInvariantMonitor:
+    def test_clean_on_healthy_run(self):
+        ctx, nodes = make_fleet(4, seed=3)
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: nodes[0].state.height() >= 25)
+        monitor = InvariantMonitor(
+            nodes, ctx.network, ctx.sim, InvariantConfig(confirmation_depth=4)
+        )
+        monitor.check_now()
+        assert monitor.report.clean and monitor.report.checks_run == 1
+
+    def test_attack_victims_excluded_from_cross_checks(self):
+        """Fig. 7 runs stay monitor-clean: censored victims diverge by design.
+
+        A vulnerable-node victim keeps mining blocks nobody receives, so its
+        own chain can drift past the confirmation depth — that is the attack
+        working, not a consensus failure (§VII-D claims the *other* nodes
+        keep the consensus).  The runner must exclude victims from the
+        monitor's cross-checks the same way it excludes them as observers.
+        """
+        cfg = ExperimentConfig(
+            algorithm="pow-h",
+            n=6,
+            epochs=2,
+            seed=3,
+            i0=5.0,
+            vulnerable_ratio=0.34,
+            confirmation_depth=2,
+        )
+        result = run_experiment(cfg)
+        assert result.invariants is not None
+        assert result.invariants.checks_run > 0
+        assert result.invariants.clean
+
+    def test_catches_forged_settled_fork(self):
+        """A majority-power node mining a private fork trips common-prefix.
+
+        Node 3 holds most of the hash power but its block announcements are
+        suppressed, so it extends a private chain that diverges from the
+        public one well beyond the confirmation depth — exactly the
+        conflicting-finalized-blocks state the monitor must catch.  Fixed
+        difficulty (pow-h) keeps the attacker's production rate high; under
+        self-adaptive difficulty its own table would throttle the fork.
+        """
+        configs = [powh_config(hash_rate=1.0)] * 3 + [powh_config(hash_rate=8.0)]
+        ctx, nodes = make_fleet(4, configs=configs, seed=4)
+        ctx.network.set_drop_filter(
+            3, lambda msg: msg.kind == "block" and msg.origin == 3
+        )
+        for node in nodes:
+            node.start()
+        ctx.sim.run(
+            stop_when=lambda: min(n.state.height() for n in nodes) >= 12,
+            max_events=5_000_000,
+        )
+        monitor = InvariantMonitor(
+            nodes, ctx.network, ctx.sim, InvariantConfig(confirmation_depth=2)
+        )
+        with pytest.raises(SafetyViolation):
+            monitor.check_now()
+        assert monitor.report.safety_violations == 1
+        assert not monitor.report.clean
+
+    def test_liveness_violation_when_connected_quorum_stalls(self):
+        ctx, nodes = make_fleet(4, seed=3)
+        # Everyone is online and connected but nobody ever mines.
+        monitor = InvariantMonitor(
+            nodes,
+            ctx.network,
+            ctx.sim,
+            InvariantConfig(check_interval=10.0, liveness_window=30.0),
+        )
+        monitor.start()
+        with pytest.raises(LivenessViolation):
+            ctx.sim.run(until=200.0)
+        monitor.stop()
+        assert monitor.report.liveness_violations == 1
+
+    def test_stall_without_quorum_is_not_a_violation(self):
+        ctx, nodes = make_fleet(4, seed=3)
+        for node_id in range(1, 4):
+            ctx.network.set_offline(node_id, True)
+        monitor = InvariantMonitor(
+            nodes,
+            ctx.network,
+            ctx.sim,
+            InvariantConfig(check_interval=10.0, liveness_window=30.0),
+        )
+        monitor.start()
+        ctx.sim.run(until=200.0)  # must not raise: 3/4 of power is offline
+        monitor.stop()
+        assert monitor.report.clean
+
+    def test_partitioned_divergence_is_not_a_violation(self):
+        """Chains on opposite sides of an armed partition may diverge freely;
+        cross-checks only apply within a connected component."""
+        ctx, nodes = make_fleet(4, seed=8)
+        ctx.network.set_partition([[0, 1], [2, 3]])
+        for node in nodes:
+            node.start()
+        ctx.sim.run(stop_when=lambda: min(n.state.height() for n in nodes) >= 10)
+        monitor = InvariantMonitor(
+            nodes, ctx.network, ctx.sim, InvariantConfig(confirmation_depth=2)
+        )
+        monitor.check_now()
+        assert monitor.report.clean
+
+
+class TestScheduledRuns:
+    def _plan(self):
+        return FaultPlan(
+            faults=(
+                CrashFault(node=2, at=100.0, restart_at=220.0),
+                PartitionFault(groups=((0, 1, 2), (3, 4, 5)), at=320.0, heal_at=380.0),
+            )
+        )
+
+    def _cfg(self, plan):
+        return ExperimentConfig(
+            n=6,
+            epochs=2,
+            seed=5,
+            i0=5.0,
+            fault_plan=plan,
+            confirmation_depth=8,
+            invariant_check_interval=15.0,
+        )
+
+    def test_seeded_chaos_run_is_bit_for_bit_reproducible(self):
+        plan = self._plan()
+        first = run_experiment(self._cfg(plan))
+        second = run_experiment(self._cfg(plan))
+        assert fault_log_signature(first.fault_log) == fault_log_signature(
+            second.fault_log
+        )
+        assert first.observer.state.head_id == second.observer.state.head_id
+        assert first.chaos.crashes == 1 and first.chaos.restarts == 1
+        assert first.chaos.partitions == 1 and first.chaos.heals == 1
+        assert first.chaos.recovered_producers == 1
+        assert first.invariants is not None and first.invariants.clean
+        assert first.chaos.messages_dropped > 0
+
+    def test_scheduler_arms_once(self):
+        ctx, nodes = make_fleet(4, seed=5)
+        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        scheduler = FaultScheduler(
+            controller, FaultPlan(faults=(CrashFault(node=1, at=5.0),))
+        )
+        scheduler.arm()
+        scheduler.arm()
+        ctx.sim.run(until=10.0)
+        assert controller.stats.crashes == 1
+
+    def test_pbft_rejects_fault_plans(self):
+        cfg = ExperimentConfig(
+            algorithm="pbft",
+            n=4,
+            fault_plan=FaultPlan(faults=(CrashFault(node=1, at=5.0),)),
+        )
+        with pytest.raises(SimulationError):
+            run_experiment(cfg)
+
+    def test_sync_kinds_are_point_to_point(self):
+        assert is_sync_kind(KIND_SYNC_HEADERS_RESPONSE)
+        assert not is_sync_kind("block")

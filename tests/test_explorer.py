@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.chain.explorer import chain_summary, find_forks, head_lineage, render_tree
 
-from tests.conftest import keypair
 
 
 class TestRenderTree:

@@ -163,7 +163,6 @@ class TestLedgerConsistency:
         tx_b = make_transaction(keypair(0), addr(2), 500, 0)
         nodes[0].mempool.add(tx_a)
         nodes[1].mempool.add(tx_b)
-        from repro.net.message import Message
 
         ctx.sim.run(
             stop_when=lambda: all(n.ledger.nonce(addr(0)) >= 1 for n in nodes),

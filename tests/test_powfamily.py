@@ -154,7 +154,7 @@ class TestAdaptiveDifficulty:
 class TestValidationPath:
     def test_invalid_difficulty_blocks_rejected(self):
         """A block declaring the wrong multiple is rejected by peers."""
-        from repro.chain.block import Block, build_block
+        from repro.chain.block import build_block
 
         ctx, nodes = make_fleet(4)
         for node in nodes:

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from tests.test_powfamily import make_fleet, run_to_height
+from tests.test_powfamily import make_fleet
 
 
 class TestChainSync:
