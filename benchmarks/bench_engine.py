@@ -1,0 +1,151 @@
+"""Performance baseline for the parallel experiment engine.
+
+Times three executions of one small sweep workload (4 configs × 4 seeds of
+short Themis runs):
+
+1. **serial** — ``jobs=1``, no cache (the historical baseline);
+2. **parallel** — ``jobs=N`` worker processes, no cache;
+3. **cached replay** — a warm content-addressed cache, which must satisfy
+   every task without a single simulation.
+
+It also proves the determinism contract: the parallel run's serialized
+results are byte-identical to the serial run's.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --jobs 4 --out BENCH_engine.json
+
+The committed ``BENCH_engine.json`` records the numbers for the machine
+that produced it (see the ``host`` block); the parallel speedup scales with
+physical cores, so a 1-core container reports ~1x while the CI runner
+shows the real fan-out win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sim.cache import ResultCache
+from repro.sim.engine import ExperimentEngine
+from repro.sim.reporting import result_to_dict
+from repro.sim.runner import ExperimentConfig
+
+#: Small enough to finish in seconds serially, wide enough (16 tasks) for a
+#: process pool to matter.
+WORKLOAD_NS = (8, 10, 12, 14)
+WORKLOAD_SEEDS = (0, 1, 2, 3)
+WORKLOAD_EPOCHS = 2
+
+
+def workload() -> list[ExperimentConfig]:
+    return [
+        ExperimentConfig(algorithm="themis", n=n, seed=seed, epochs=WORKLOAD_EPOCHS)
+        for n in WORKLOAD_NS
+        for seed in WORKLOAD_SEEDS
+    ]
+
+
+def serialized(results) -> list[str]:
+    return [json.dumps(result_to_dict(r), sort_keys=True) for r in results]
+
+
+def timed_run(engine: ExperimentEngine, configs) -> tuple[float, list[str]]:
+    start = time.perf_counter()
+    results = engine.run_many(configs)
+    wall = time.perf_counter() - start
+    return wall, serialized(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel worker count (0 = all cores)"
+    )
+    parser.add_argument("--out", type=str, default="BENCH_engine.json")
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="cache directory (default: temp)"
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    configs = workload()
+
+    print(f"workload: {len(configs)} tasks, jobs={jobs}", file=sys.stderr)
+
+    serial_wall, serial_records = timed_run(ExperimentEngine(jobs=1), configs)
+    print(f"serial   : {serial_wall:.2f}s", file=sys.stderr)
+
+    parallel_wall, parallel_records = timed_run(ExperimentEngine(jobs=jobs), configs)
+    deterministic = parallel_records == serial_records
+    print(
+        f"parallel : {parallel_wall:.2f}s (byte-identical: {deterministic})",
+        file=sys.stderr,
+    )
+
+    if args.cache_dir is not None:
+        cache_ctx = None
+        cache_dir = args.cache_dir
+    else:
+        cache_ctx = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = cache_ctx.name
+    try:
+        cold = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_dir))
+        cold_wall, _ = timed_run(cold, configs)
+        warm = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_dir))
+        warm_wall, warm_records = timed_run(warm, configs)
+        replay_exact = warm_records == serial_records
+        print(
+            f"cold+put : {cold_wall:.2f}s | warm replay: {warm_wall:.2f}s "
+            f"({warm.last_report.cache_hits} hits, "
+            f"{warm.last_report.executed} executed)",
+            file=sys.stderr,
+        )
+        report = {
+            "workload": {
+                "algorithm": "themis",
+                "ns": list(WORKLOAD_NS),
+                "seeds": list(WORKLOAD_SEEDS),
+                "epochs": WORKLOAD_EPOCHS,
+                "tasks": len(configs),
+            },
+            "host": {
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "jobs": jobs,
+            "serial_wall_s": round(serial_wall, 3),
+            "parallel_wall_s": round(parallel_wall, 3),
+            "parallel_speedup": round(serial_wall / parallel_wall, 2),
+            "parallel_byte_identical": deterministic,
+            "cache_cold_wall_s": round(cold_wall, 3),
+            "cache_replay_wall_s": round(warm_wall, 3),
+            "cache_replay_speedup": round(serial_wall / warm_wall, 1),
+            "cache_replay_hits": warm.last_report.cache_hits,
+            "cache_replay_executed": warm.last_report.executed,
+            "cache_replay_byte_identical": replay_exact,
+        }
+    finally:
+        if cache_ctx is not None:
+            cache_ctx.cleanup()
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+
+    ok = deterministic and replay_exact and warm.last_report.executed == 0
+    if not ok:
+        print("FAIL: determinism or cache-replay contract violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

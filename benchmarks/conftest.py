@@ -11,25 +11,59 @@ Conventions:
 * every benchmark measures through ``benchmark.pedantic(..., rounds=1)`` so
   a figure's simulation runs exactly once whether or not ``--benchmark-only``
   is passed;
-* experiment results are cached per :class:`ExperimentConfig` (hashable,
-  frozen) so figures that share runs — Fig. 4 and Fig. 5 use the same
-  convergence runs — don't pay twice.
+* all experiments go through one shared, memoizing
+  :class:`~repro.sim.engine.ExperimentEngine`, so figures that share runs —
+  Fig. 4 and Fig. 5 use the same convergence runs; Table I reuses
+  Fig. 4/5/6 — don't pay twice.
+
+Environment knobs (the defaults reproduce the historical serial behavior):
+
+* ``REPRO_BENCH_JOBS`` — worker processes for batched experiments
+  (:func:`batch_experiments`); single :func:`cached_experiment` calls stay
+  in-process so results keep their live ``observer`` handle.
+* ``REPRO_BENCH_CACHE_DIR`` — arm the on-disk result cache.  Cache-hit
+  results carry no live observer; benchmarks that walk the block tree
+  (§VI-C, ablations) skip under a warm cache.
 """
 
 from __future__ import annotations
 
+import os
+from typing import Sequence
+
 import pytest
 
-from repro.sim.runner import ExperimentConfig, RunResult, run_experiment
+from repro.sim.engine import ExperimentEngine
+from repro.sim.runner import ExperimentConfig, RunResult
 
-_RESULT_CACHE: dict[ExperimentConfig, RunResult] = {}
+
+def _jobs_from_env() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+
+
+ENGINE = ExperimentEngine(
+    jobs=_jobs_from_env(),
+    cache=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+    memoize=True,
+)
 
 
 def cached_experiment(cfg: ExperimentConfig) -> RunResult:
-    """Run (or reuse) one experiment."""
-    if cfg not in _RESULT_CACHE:
-        _RESULT_CACHE[cfg] = run_experiment(cfg)
-    return _RESULT_CACHE[cfg]
+    """Run (or reuse) one experiment through the shared engine."""
+    return ENGINE.run(cfg)
+
+
+def batch_experiments(configs: Sequence[ExperimentConfig]) -> list[RunResult]:
+    """Run a whole figure's grid in one engine batch (parallel when
+    ``REPRO_BENCH_JOBS`` > 1), in deterministic config order."""
+    return [r for r in ENGINE.run_many(list(configs)) if r is not None]
+
+
+def require_observer(result: RunResult):
+    """The live observer node, or a skip when the result came from disk."""
+    if result.observer is None:
+        pytest.skip("needs a live run (result came from the on-disk cache)")
+    return result.observer
 
 
 @pytest.fixture()

@@ -17,6 +17,7 @@ Not a paper figure — these justify two implementation decisions:
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import replace
 from typing import Sequence
 
 from repro.chain.blocktree import BlockTree
@@ -26,8 +27,11 @@ from repro.core.equality import variance_of_frequency
 from repro.core.geost import GEOSTRule
 from repro.core.themis import ConsensusChainState
 
-from benchmarks.conftest import cached_experiment
-from repro.sim.scenarios import equality_scenario
+from benchmarks.conftest import cached_experiment, require_observer
+from repro.sim.scenarios import equality_spec
+
+# Fig. 4/5's themis convergence runs, reused via the shared engine.
+_THEMIS_CFG = equality_spec(n=40, epochs=12, algorithms=("themis",)).grid[0]
 
 
 class SubtreeOnlyGEOST(ForkChoiceRule):
@@ -65,10 +69,8 @@ def test_ablation_geost_variance_scope(run_once):
     def experiment():
         rows = []
         for seed in (1, 2):
-            result = cached_experiment(
-                equality_scenario("themis", seed=seed, n=40, epochs=12)
-            )
-            observer = result.observer
+            result = cached_experiment(replace(_THEMIS_CFG, seed=seed))
+            observer = require_observer(result)
             members = result.members
             tree = observer.tree
             chain_scope = GEOSTRule(lambda: members).head(tree)
@@ -104,8 +106,8 @@ def test_ablation_finality_window(run_once):
     """Windowed and unwindowed states agree on every head decision."""
 
     def experiment():
-        result = cached_experiment(equality_scenario("themis", seed=1, n=40, epochs=12))
-        observer = result.observer
+        result = cached_experiment(replace(_THEMIS_CFG, seed=1))
+        observer = require_observer(result)
         members = result.members
         params = DifficultyParams(i0=10.0, h0=1.0, beta=8.0)
         genesis = observer.state.genesis

@@ -10,23 +10,28 @@ Fig. 4.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from benchmarks.conftest import cached_experiment, print_series
+from benchmarks.conftest import batch_experiments, cached_experiment, print_series
 from repro.core.equality import round_robin_probability_variance
 from repro.sim.metrics import stable_value
-from repro.sim.scenarios import equality_scenario
+from repro.sim.scenarios import equality_spec
 
 SEEDS = (1, 2, 3)
 EPOCHS = 12
 N = 40
 
+# Same configs as Fig. 4 — the shared engine memoizes, so the convergence
+# runs are computed once for both figures.
+SPEC = equality_spec(n=N, epochs=EPOCHS)
+_CONFIGS = {cfg.algorithm: cfg for cfg in SPEC.grid}
+
 
 def _series_per_seed(algorithm: str) -> list[list[float]]:
     return [
-        cached_experiment(
-            equality_scenario(algorithm, seed=s, n=N, epochs=EPOCHS)
-        ).unpredictability
+        cached_experiment(replace(_CONFIGS[algorithm], seed=s)).unpredictability
         for s in SEEDS
     ]
 
@@ -42,6 +47,7 @@ def _converged(per_seed: list[list[float]]) -> float:
 
 def test_fig5_unpredictability(run_once):
     def experiment():
+        batch_experiments(SPEC.configs(seeds=SEEDS))
         return {
             algorithm: _series_per_seed(algorithm)
             for algorithm in ("pow-h", "themis", "themis-lite")

@@ -15,23 +15,26 @@ and collapsing toward 0 by n = 600.
 
 from __future__ import annotations
 
-from benchmarks.conftest import cached_experiment, print_series
-from repro.sim.scenarios import scalability_scenario
+from benchmarks.conftest import batch_experiments, cached_experiment, print_series
+from repro.sim.scenarios import scalability_spec
 
 POW_NS = (16, 50, 100, 200, 400, 600)
 PBFT_NS = (16, 50, 100, 200, 400, 600)
 
+SPEC = scalability_spec(ns=POW_NS)  # all four algorithms × the full n ladder
+_CONFIGS = {(cfg.algorithm, cfg.n): cfg for cfg in SPEC.grid}
+
 
 def test_fig6_scalability(run_once):
     def experiment():
+        batch_experiments(SPEC.grid)
         table: dict[str, dict[int, float]] = {}
         for algorithm in ("pow-h", "themis", "themis-lite"):
             table[algorithm] = {
-                n: cached_experiment(scalability_scenario(algorithm, n)).tps
-                for n in POW_NS
+                n: cached_experiment(_CONFIGS[(algorithm, n)]).tps for n in POW_NS
             }
         table["pbft"] = {
-            n: cached_experiment(scalability_scenario("pbft", n)).tps for n in PBFT_NS
+            n: cached_experiment(_CONFIGS[("pbft", n)]).tps for n in PBFT_NS
         }
         return table
 

@@ -11,23 +11,27 @@ comes up.
 
 from __future__ import annotations
 
-from benchmarks.conftest import cached_experiment, print_series
-from repro.sim.scenarios import attack_scenario
+from benchmarks.conftest import batch_experiments, cached_experiment, print_series
+from repro.sim.scenarios import attack_spec
 
 RATIOS = (0.0, 0.08, 0.16, 0.24, 0.32)
 N = 40  # paper: 100
 
+SPEC = attack_spec(ratios=RATIOS, n=N)
+_CONFIGS = {(cfg.algorithm, cfg.vulnerable_ratio): cfg for cfg in SPEC.grid}
+
 
 def test_fig7_attack_scenarios(run_once):
     def experiment():
+        batch_experiments(SPEC.grid)
         table: dict[str, list[float]] = {}
         for algorithm in ("pow-h", "themis", "themis-lite", "pbft"):
             table[algorithm] = [
-                cached_experiment(attack_scenario(algorithm, ratio, n=N)).tps
+                cached_experiment(_CONFIGS[(algorithm, ratio)]).tps
                 for ratio in RATIOS
             ]
         vc = [
-            cached_experiment(attack_scenario("pbft", ratio, n=N)).view_changes
+            cached_experiment(_CONFIGS[("pbft", ratio)]).view_changes
             for ratio in RATIOS
         ]
         return table, vc

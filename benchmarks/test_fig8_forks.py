@@ -16,21 +16,27 @@ against itself); GEOST (Themis) <= GHOST (Themis-Lite) on both stats.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from benchmarks.conftest import cached_experiment
-from repro.sim.scenarios import fork_scenario
+from benchmarks.conftest import batch_experiments, cached_experiment
+from repro.sim.scenarios import fork_spec
 
 SEEDS = (1, 2, 3, 4, 5, 6)  # the paper's "6 experiments"
 N = 40
 
+SPEC = fork_spec(n=N)
+_CONFIGS = {cfg.algorithm: cfg for cfg in SPEC.grid}
+
 
 def test_fig8_fork_duration(run_once):
     def experiment():
+        batch_experiments(SPEC.configs(seeds=SEEDS))
         table = {}
         for algorithm in ("pow-h", "themis", "themis-lite"):
             reports = [
-                cached_experiment(fork_scenario(algorithm, seed=s, n=N)).fork
+                cached_experiment(replace(_CONFIGS[algorithm], seed=s)).fork
                 for s in SEEDS
             ]
             table[algorithm] = {

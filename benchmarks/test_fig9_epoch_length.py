@@ -12,29 +12,31 @@ Shape: a U — the mid-range β values beat both extremes.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from benchmarks.conftest import cached_experiment, print_series
+from benchmarks.conftest import batch_experiments, cached_experiment, print_series
 from repro.sim.metrics import stable_value
-from repro.sim.scenarios import epoch_length_scenario
+from repro.sim.scenarios import epoch_length_spec
 
 BETAS = (2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0)
 SEEDS = (1, 2)
 N = 20  # paper: 100
 HEIGHT_FACTOR = 96  # all betas compared at height 96·n (same block height)
 
+SPEC = epoch_length_spec(betas=BETAS, n=N, height_factor=HEIGHT_FACTOR)
+_CONFIGS = {cfg.beta: cfg for cfg in SPEC.grid}
+
 
 def test_fig9_epoch_length(run_once):
     def experiment():
+        batch_experiments(SPEC.configs(seeds=SEEDS))
         stable = {}
         for beta in BETAS:
             values = []
             for seed in SEEDS:
-                result = cached_experiment(
-                    epoch_length_scenario(
-                        beta, seed=seed, n=N, height_factor=HEIGHT_FACTOR
-                    )
-                )
+                result = cached_experiment(replace(_CONFIGS[beta], seed=seed))
                 values.append(stable_value(result.equality))
             stable[beta] = float(np.mean(values))
         return stable

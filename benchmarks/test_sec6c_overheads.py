@@ -15,12 +15,14 @@ difficulty tables a node stores and the actual signed-block wire sizes.
 
 from __future__ import annotations
 
-from benchmarks.conftest import cached_experiment
+from dataclasses import replace
+
+from benchmarks.conftest import cached_experiment, require_observer
 from repro.analysis.stats import CommunicationOverhead, StorageOverhead
 from repro.chain.block import Block, sign_block
 from repro.chain.genesis import make_genesis
 from repro.crypto.signature import SIGNATURE_SIZE
-from repro.sim.scenarios import equality_scenario
+from repro.sim.scenarios import equality_spec
 
 from tests.conftest import keypair
 
@@ -31,11 +33,16 @@ ETHEREUM_AVG_BLOCK = 68_400
 N = 40
 EPOCHS = 12
 
+# Same run as Fig. 4/5's themis seed 1 — reused via the shared engine.
+_THEMIS_CFG = replace(
+    equality_spec(n=N, epochs=EPOCHS, algorithms=("themis",)).grid[0], seed=1
+)
+
 
 def test_sec6c_storage_overhead(run_once):
     def experiment():
-        result = cached_experiment(equality_scenario("themis", seed=1, n=N, epochs=EPOCHS))
-        observer = result.observer
+        result = cached_experiment(_THEMIS_CFG)
+        observer = require_observer(result)
         # What a node actually persists: one (m_i, q_i) row per member per
         # epoch table it derived.
         tables = observer.state._tables

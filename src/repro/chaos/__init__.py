@@ -35,7 +35,15 @@ from repro.chaos.invariants import (
     LivenessViolation,
     SafetyViolation,
 )
-from repro.chaos.schedule import FaultPlan, FaultScheduler, random_fault_plan
+from repro.chaos.schedule import (
+    FaultPlan,
+    FaultScheduler,
+    fault_from_dict,
+    fault_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    random_fault_plan,
+)
 
 __all__ = [
     "ChaosController",
@@ -54,6 +62,10 @@ __all__ = [
     "LivenessViolation",
     "PartitionFault",
     "SafetyViolation",
+    "fault_from_dict",
     "fault_log_signature",
+    "fault_to_dict",
+    "plan_from_dict",
+    "plan_to_dict",
     "random_fault_plan",
 ]

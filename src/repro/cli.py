@@ -4,14 +4,21 @@ Commands:
 
 * ``run`` — one experiment with explicit parameters, printing the §VII-C
   metrics and optionally saving a JSON record;
+* ``sweep`` — one configuration across many seeds, in parallel, through
+  the content-addressed result cache, with aggregate statistics;
 * ``figure`` — regenerate a paper figure's data series at a chosen scale;
 * ``compare`` — run all four algorithms side by side at one configuration.
 
 Examples::
 
     python -m repro run --algorithm themis --nodes 40 --epochs 10
-    python -m repro figure fig4 --nodes 30 --epochs 10
-    python -m repro compare --nodes 24 --epochs 4
+    python -m repro sweep -a themis -n 24 --epochs 4 --seeds 8 --jobs 4
+    python -m repro figure fig4 --nodes 30 --epochs 10 --jobs 3
+    python -m repro compare --nodes 24 --epochs 4 --jobs 4
+
+``--jobs 0`` uses every core.  ``sweep`` caches by default (under
+``$REPRO_CACHE_DIR`` or the user cache directory) so replays are instant;
+``run``/``figure``/``compare`` cache when ``--cache-dir`` is given.
 """
 
 from __future__ import annotations
@@ -20,16 +27,20 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import SimulationError
+from repro.sim.cache import ResultCache, default_cache_dir
+from repro.sim.engine import ExperimentEngine
 from repro.sim.reporting import ascii_chart, save_results, summary_line
-from repro.sim.runner import ExperimentConfig, run_experiment
+from repro.sim.runner import ExperimentConfig
 from repro.sim.scenarios import (
     POW_FAMILY,
-    attack_scenario,
-    epoch_length_scenario,
-    equality_scenario,
-    fork_scenario,
-    scalability_scenario,
+    attack_spec,
+    epoch_length_spec,
+    equality_spec,
+    fork_spec,
+    scalability_spec,
 )
+from repro.sim.sweeps import summarize
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -42,6 +53,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--vulnerable", type=float, default=0.0, help="vulnerable node ratio"
     )
     parser.add_argument("--save", type=str, default=None, help="write JSON record")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores, 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or user cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, algorithm: str) -> ExperimentConfig:
@@ -57,9 +86,42 @@ def _config_from_args(args: argparse.Namespace, algorithm: str) -> ExperimentCon
     )
 
 
+def _engine_from_args(
+    args: argparse.Namespace, *, cache_by_default: bool = False
+) -> ExperimentEngine:
+    cache = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache = ResultCache(args.cache_dir)
+        elif cache_by_default:
+            cache = ResultCache(default_cache_dir())
+    return ExperimentEngine(
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+
+def _parse_seeds(text: str) -> list[int]:
+    """``"5"`` → seeds 0..4; ``"2,5,9"`` → exactly those seeds."""
+    if "," in text:
+        return [int(part) for part in text.split(",") if part.strip()]
+    count = int(text)
+    if count < 1:
+        raise SimulationError("need at least one seed")
+    return list(range(count))
+
+
+def _report_engine(engine: ExperimentEngine) -> None:
+    print(engine.last_report.summary())
+    if engine.cache is not None:
+        print(engine.cache.stats.summary())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cfg = _config_from_args(args, args.algorithm)
-    result = run_experiment(cfg)
+    engine = _engine_from_args(args)
+    result = engine.run(cfg)
     print(summary_line(result))
     if result.equality:
         print("\nσ_f² per epoch:")
@@ -70,12 +132,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    results = []
-    for algorithm in (*POW_FAMILY, "pbft"):
-        result = run_experiment(_config_from_args(args, algorithm))
-        results.append(result)
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweeps import sweep
+
+    cfg = _config_from_args(args, args.algorithm)
+    seeds = _parse_seeds(args.seeds)
+    engine = _engine_from_args(args, cache_by_default=True)
+    results = sweep(experiment=cfg, seeds=seeds, engine=engine)
+    for result in results:
         print(summary_line(result))
+    print()
+    print(f"tps: {summarize(results, lambda r: r.tps).format(' tps')}")
+    if all(r.equality for r in results):
+        from repro.sim.metrics import stable_value
+
+        sigma = summarize(results, lambda r: stable_value(r.equality, robust=True))
+        print(f"stable σ_f²: {sigma.format()}")
+    _report_engine(engine)
+    if args.save:
+        path = save_results(results, args.save)
+        print(f"\nsaved records to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    configs = [
+        _config_from_args(args, algorithm) for algorithm in (*POW_FAMILY, "pbft")
+    ]
+    results = engine.run_many(configs)
+    for result in results:
+        print(summary_line(result))
+    _report_engine(engine)
     if args.save:
         path = save_results(results, args.save)
         print(f"\nsaved records to {path}")
@@ -84,14 +172,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     name = args.name
+    engine = _engine_from_args(args)
     if name in ("fig4", "fig5"):
+        spec = equality_spec(n=args.nodes, epochs=args.epochs, seed=args.seed)
+        results = engine.run_many(list(spec.grid))
         series = {}
-        for algorithm in POW_FAMILY:
-            cfg = equality_scenario(
-                algorithm, seed=args.seed, n=args.nodes, epochs=args.epochs
-            )
-            result = run_experiment(cfg)
-            series[algorithm] = (
+        for cfg, result in zip(spec.grid, results):
+            series[cfg.algorithm] = (
                 result.equality if name == "fig4" else result.unpredictability
             )
             print(summary_line(result))
@@ -99,32 +186,36 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"\n{metric} per epoch (log scale):")
         print(ascii_chart(series, logy=True))
     elif name == "fig6":
-        for algorithm in (*POW_FAMILY, "pbft"):
-            tps = []
-            ns = (16, 50, 100, 200)
-            for n in ns:
-                tps.append(run_experiment(scalability_scenario(algorithm, n)).tps)
-            print(f"{algorithm:>12s}: " + "  ".join(f"n={n}:{t:7.0f}" for n, t in zip(ns, tps)))
-    elif name == "fig7":
-        for algorithm in (*POW_FAMILY, "pbft"):
-            row = []
-            for ratio in (0.0, 0.16, 0.32):
-                row.append(
-                    run_experiment(
-                        attack_scenario(algorithm, ratio, seed=args.seed, n=args.nodes)
-                    ).tps
-                )
+        ns = (16, 50, 100, 200)
+        spec = scalability_spec(ns=ns, seed=args.seed)
+        results = engine.run_many(list(spec.grid))
+        for start in range(0, len(spec.grid), len(ns)):
+            algorithm = spec.grid[start].algorithm
+            row = results[start : start + len(ns)]
             print(
                 f"{algorithm:>12s}: "
-                + "  ".join(f"R={r:.2f}:{t:7.0f}" for r, t in zip((0.0, 0.16, 0.32), row))
+                + "  ".join(f"n={r.config.n}:{r.tps:7.0f}" for r in row)
+            )
+    elif name == "fig7":
+        ratios = (0.0, 0.16, 0.32)
+        spec = attack_spec(ratios=ratios, n=args.nodes, seed=args.seed)
+        results = engine.run_many(list(spec.grid))
+        for start in range(0, len(spec.grid), len(ratios)):
+            algorithm = spec.grid[start].algorithm
+            row = results[start : start + len(ratios)]
+            print(
+                f"{algorithm:>12s}: "
+                + "  ".join(
+                    f"R={r.config.vulnerable_ratio:.2f}:{r.tps:7.0f}" for r in row
+                )
             )
     elif name == "fig8":
-        for algorithm in POW_FAMILY:
-            report = run_experiment(
-                fork_scenario(algorithm, seed=args.seed, n=args.nodes)
-            ).fork
+        spec = fork_spec(n=args.nodes, seed=args.seed)
+        results = engine.run_many(list(spec.grid))
+        for cfg, result in zip(spec.grid, results):
+            report = result.fork
             print(
-                f"{algorithm:>12s}: fork rate {100 * report.fork_rate:5.2f}% "
+                f"{cfg.algorithm:>12s}: fork rate {100 * report.fork_rate:5.2f}% "
                 f"longest {report.longest_duration}"
             )
     elif name == "fig9":
@@ -132,16 +223,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         # Same-block-height comparison (§VII-D): height = epochs·8·n.
         height_factor = max(16, args.epochs * 8)
-        for beta in (2.0, 4.0, 8.0, 12.0, 16.0):
-            result = run_experiment(
-                epoch_length_scenario(
-                    beta, seed=args.seed, n=args.nodes, height_factor=height_factor
-                )
+        spec = epoch_length_spec(
+            n=args.nodes, seed=args.seed, height_factor=height_factor
+        )
+        results = engine.run_many(list(spec.grid))
+        for cfg, result in zip(spec.grid, results):
+            print(
+                f"beta={cfg.beta:5.1f}: stable σ_f² = "
+                f"{stable_value(result.equality):.3e}"
             )
-            print(f"beta={beta:5.1f}: stable σ_f² = {stable_value(result.equality):.3e}")
     else:
         print(f"unknown figure {name!r}; choose fig4..fig9", file=sys.stderr)
         return 2
+    _report_engine(engine)
     return 0
 
 
@@ -160,6 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="one configuration across seeds (parallel, cached)"
+    )
+    sweep_parser.add_argument(
+        "--algorithm",
+        "-a",
+        default="themis",
+        choices=["themis", "themis-lite", "pow-h", "pbft"],
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        type=str,
+        default="5",
+        help="seed count (e.g. 5 → seeds 0..4) or explicit list (e.g. 2,5,9)",
+    )
+    _add_common(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     compare_parser = sub.add_parser("compare", help="all four algorithms side by side")
     _add_common(compare_parser)

@@ -1,39 +1,149 @@
-"""Canned experiment configurations, one per paper figure.
+"""Scenario specifications, one per paper figure.
+
+A :class:`ScenarioSpec` is the unit the evaluation stack consumes: a frozen,
+hashable bundle of (name, concrete config grid, scalar metric extractors)
+that the :class:`~repro.sim.engine.ExperimentEngine`, the CLI ``figure``
+command and the benchmark suite all share.  One builder per figure
+(:func:`equality_spec` … :func:`epoch_length_spec`) constructs the grid the
+paper sweeps; :meth:`ScenarioSpec.configs` crosses it with seeds for
+sweep-grade replication.
 
 Scale note: the paper's testbed runs n = 100 (Fig. 4, 5, 7, 8, 9) and up to
-n = 600 (Fig. 6).  These canned configurations preserve every structural
-parameter (Δ = β·n, the Fig. 3 power-distribution shape, §VII-A link
-parameters) while defaulting to smaller n so the whole benchmark suite
-finishes in minutes on one machine; every scenario accepts overrides for
-full-scale replication.  EXPERIMENTS.md records which scale each reported
-number used.
+n = 600 (Fig. 6).  These canned grids preserve every structural parameter
+(Δ = β·n, the Fig. 3 power-distribution shape, §VII-A link parameters)
+while defaulting to smaller n so the whole benchmark suite finishes in
+minutes on one machine; every builder accepts overrides for full-scale
+replication.  EXPERIMENTS.md records which scale each reported number used.
+
+The pre-spec, one-config-at-a-time helpers (``equality_scenario`` and
+friends) remain as thin deprecated wrappers around the builders.
 """
 
 from __future__ import annotations
 
-from repro.sim.runner import Algorithm, ExperimentConfig
+import warnings
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.metrics import stable_value
+from repro.sim.runner import Algorithm, ExperimentConfig, RunResult
 
 #: The three PoW-family algorithms of §VII-B plus PBFT.
 ALL_ALGORITHMS: tuple[Algorithm, ...] = ("themis", "themis-lite", "pow-h", "pbft")
 POW_FAMILY: tuple[Algorithm, ...] = ("themis", "themis-lite", "pow-h")
 
+#: Extracts one scalar from a finished run, e.g. ``lambda r: r.tps``.
+MetricFn = Callable[[RunResult], float]
 
-def equality_scenario(
-    algorithm: Algorithm, seed: int = 0, n: int = 40, epochs: int = 12
-) -> ExperimentConfig:
+
+# Module-level metric extractors (named functions keep specs hashable and
+# their reprs readable; lambdas would compare by identity anyway but print
+# as noise).
+def metric_tps(result: RunResult) -> float:
+    return result.tps
+
+
+def metric_equality_stable(result: RunResult) -> float:
+    return stable_value(result.equality, robust=True)
+
+
+def metric_unpredictability_stable(result: RunResult) -> float:
+    return stable_value(result.unpredictability)
+
+
+def metric_fork_rate(result: RunResult) -> float:
+    return result.fork.fork_rate if result.fork is not None else 0.0
+
+
+def metric_longest_fork(result: RunResult) -> float:
+    return float(result.fork.longest_duration) if result.fork is not None else 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation scenario: a named config grid plus its metrics.
+
+    Attributes:
+        name: scenario identifier (``"fig6-scalability"``).
+        grid: the concrete configs the scenario sweeps, in report order.
+        metrics: ``(label, extractor)`` pairs for the scalars the scenario
+            reports; extractors are plain callables over :class:`RunResult`.
+        xlabel: what varies along the grid (documentation / table headers).
+    """
+
+    name: str
+    grid: tuple[ExperimentConfig, ...]
+    metrics: tuple[tuple[str, MetricFn], ...] = (("tps", metric_tps),)
+    xlabel: str = "config"
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise SimulationError(f"scenario {self.name!r} has an empty grid")
+        labels = [label for label, _ in self.metrics]
+        if len(set(labels)) != len(labels):
+            raise SimulationError(f"scenario {self.name!r} has duplicate metrics")
+
+    def configs(
+        self, seeds: Iterable[int] | None = None
+    ) -> tuple[ExperimentConfig, ...]:
+        """The grid, optionally crossed with seeds (grid-major order)."""
+        if seeds is None:
+            return self.grid
+        seed_list = list(seeds)
+        if not seed_list:
+            raise SimulationError("need at least one seed")
+        return tuple(
+            replace(cfg, seed=seed) for cfg in self.grid for seed in seed_list
+        )
+
+    @property
+    def metric_labels(self) -> tuple[str, ...]:
+        return tuple(label for label, _ in self.metrics)
+
+    def extract(self, result: RunResult) -> dict[str, float]:
+        """Evaluate every metric on one finished run."""
+        return {label: float(fn(result)) for label, fn in self.metrics}
+
+
+# -- builders, one per figure --------------------------------------------------------
+
+
+def equality_spec(
+    *,
+    n: int = 40,
+    epochs: int = 12,
+    seed: int = 0,
+    algorithms: Sequence[Algorithm] = POW_FAMILY,
+) -> ScenarioSpec:
     """Fig. 4 / Fig. 5: σ_f² and σ_p² against epochs (one run serves both)."""
-    return ExperimentConfig(
-        algorithm=algorithm,
-        n=n,
-        seed=seed,
-        epochs=epochs,
-        pbft_rounds=n * 8 * 2,  # two counting epochs of committed rounds
+    return ScenarioSpec(
+        name="fig4-equality",
+        xlabel="algorithm",
+        grid=tuple(
+            ExperimentConfig(
+                algorithm=algorithm,
+                n=n,
+                seed=seed,
+                epochs=epochs,
+                pbft_rounds=n * 8 * 2,  # two counting epochs of committed rounds
+            )
+            for algorithm in algorithms
+        ),
+        metrics=(
+            ("sigma_f2", metric_equality_stable),
+            ("sigma_p2", metric_unpredictability_stable),
+            ("tps", metric_tps),
+        ),
     )
 
 
-def scalability_scenario(
-    algorithm: Algorithm, n: int, seed: int = 0
-) -> ExperimentConfig:
+def scalability_spec(
+    *,
+    ns: Sequence[int] = (16, 50, 100, 200),
+    seed: int = 0,
+    algorithms: Sequence[Algorithm] = ALL_ALGORITHMS,
+) -> ScenarioSpec:
     """Fig. 6: TPS against consensus node count.
 
     Scalability runs use uniform power (the converged regime where every
@@ -42,50 +152,93 @@ def scalability_scenario(
     network, not bootstrap transients.  A fixed chain-height window keeps
     the 600-node points tractable.
     """
-    return ExperimentConfig(
-        algorithm=algorithm,
-        n=n,
-        seed=seed,
-        power="uniform",
-        target_height=90,
-        measure_from_height=30,
-        pbft_rounds=24,
-        # 6500 tx/block at I0 = 10 s puts the PoW-family plateau at the
-        # paper's ~650 TPS; PBFT's leader-bandwidth bound is batch-invariant.
-        batch_size=6500,
+    return ScenarioSpec(
+        name="fig6-scalability",
+        xlabel="n",
+        grid=tuple(
+            ExperimentConfig(
+                algorithm=algorithm,
+                n=n,
+                seed=seed,
+                power="uniform",
+                target_height=90,
+                measure_from_height=30,
+                pbft_rounds=24,
+                # 6500 tx/block at I0 = 10 s puts the PoW-family plateau at
+                # the paper's ~650 TPS; PBFT's leader-bandwidth bound is
+                # batch-invariant.
+                batch_size=6500,
+            )
+            for algorithm in algorithms
+            for n in ns
+        ),
+        metrics=(("tps", metric_tps),),
     )
 
 
-def attack_scenario(
-    algorithm: Algorithm, vulnerable_ratio: float, seed: int = 0, n: int = 40
-) -> ExperimentConfig:
+def attack_spec(
+    *,
+    ratios: Sequence[float] = (0.0, 0.16, 0.32),
+    n: int = 40,
+    seed: int = 0,
+    algorithms: Sequence[Algorithm] = ALL_ALGORITHMS,
+) -> ScenarioSpec:
     """Fig. 7: TPS against vulnerable-node ratio (paper: n = 100)."""
-    return ExperimentConfig(
-        algorithm=algorithm,
-        n=n,
-        seed=seed,
-        epochs=4,
-        pbft_rounds=60,
-        vulnerable_ratio=vulnerable_ratio,
+    return ScenarioSpec(
+        name="fig7-attacks",
+        xlabel="vulnerable_ratio",
+        grid=tuple(
+            ExperimentConfig(
+                algorithm=algorithm,
+                n=n,
+                seed=seed,
+                epochs=4,
+                pbft_rounds=60,
+                vulnerable_ratio=ratio,
+            )
+            for algorithm in algorithms
+            for ratio in ratios
+        ),
+        metrics=(("tps", metric_tps),),
     )
 
 
-def fork_scenario(algorithm: Algorithm, seed: int = 0, n: int = 40) -> ExperimentConfig:
+def fork_spec(
+    *,
+    n: int = 40,
+    seed: int = 0,
+    algorithms: Sequence[Algorithm] = POW_FAMILY,
+) -> ScenarioSpec:
     """Fig. 8: fork rate / duration under identical difficulty settings."""
-    return ExperimentConfig(
-        algorithm=algorithm,
-        n=n,
-        seed=seed,
-        epochs=6,
-        # A short block interval stresses fork handling: the relative
-        # ordering PoW-H < Themis < Themis-Lite is what Fig. 8 reports.
-        i0=4.0,
+    return ScenarioSpec(
+        name="fig8-forks",
+        xlabel="algorithm",
+        grid=tuple(
+            ExperimentConfig(
+                algorithm=algorithm,
+                n=n,
+                seed=seed,
+                epochs=6,
+                # A short block interval stresses fork handling: the relative
+                # ordering PoW-H < Themis < Themis-Lite is what Fig. 8 reports.
+                i0=4.0,
+            )
+            for algorithm in algorithms
+        ),
+        metrics=(
+            ("fork_rate", metric_fork_rate),
+            ("longest_fork", metric_longest_fork),
+        ),
     )
 
 
-def epoch_length_scenario(
-    beta: float, seed: int = 0, n: int = 20, height_factor: int = 96
-) -> ExperimentConfig:
+def epoch_length_spec(
+    *,
+    betas: Sequence[float] = (2.0, 4.0, 8.0, 12.0, 16.0),
+    n: int = 20,
+    seed: int = 0,
+    height_factor: int = 96,
+) -> ScenarioSpec:
     """Fig. 9: stable σ_f² against β = Δ/n for Themis.
 
     The paper compares "at the same block height" (§VII-D), which is what
@@ -95,11 +248,82 @@ def epoch_length_scenario(
     therefore runs to the same total height ``height_factor·n`` and the
     stable value averages the last 5 of its own epochs.
     """
-    epochs = max(3, round(height_factor / beta))
-    return ExperimentConfig(
-        algorithm="themis",
-        n=n,
-        seed=seed,
-        epochs=epochs,
-        beta=beta,
+    return ScenarioSpec(
+        name="fig9-epoch-length",
+        xlabel="beta",
+        grid=tuple(
+            ExperimentConfig(
+                algorithm="themis",
+                n=n,
+                seed=seed,
+                epochs=max(3, round(height_factor / beta)),
+                beta=beta,
+            )
+            for beta in betas
+        ),
+        metrics=(("sigma_f2", metric_equality_stable),),
     )
+
+
+#: Figure name → spec builder, for CLI and docs discovery.
+SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
+    "fig4": equality_spec,
+    "fig5": equality_spec,
+    "fig6": scalability_spec,
+    "fig7": attack_spec,
+    "fig8": fork_spec,
+    "fig9": epoch_length_spec,
+}
+
+
+# -- deprecated one-config helpers ---------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; build a ScenarioSpec with {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def equality_scenario(
+    algorithm: Algorithm, seed: int = 0, n: int = 40, epochs: int = 12
+) -> ExperimentConfig:
+    """Deprecated: use :func:`equality_spec`."""
+    _deprecated("equality_scenario", "equality_spec")
+    return equality_spec(n=n, epochs=epochs, seed=seed, algorithms=(algorithm,)).grid[0]
+
+
+def scalability_scenario(
+    algorithm: Algorithm, n: int, seed: int = 0
+) -> ExperimentConfig:
+    """Deprecated: use :func:`scalability_spec`."""
+    _deprecated("scalability_scenario", "scalability_spec")
+    return scalability_spec(ns=(n,), seed=seed, algorithms=(algorithm,)).grid[0]
+
+
+def attack_scenario(
+    algorithm: Algorithm, vulnerable_ratio: float, seed: int = 0, n: int = 40
+) -> ExperimentConfig:
+    """Deprecated: use :func:`attack_spec`."""
+    _deprecated("attack_scenario", "attack_spec")
+    return attack_spec(
+        ratios=(vulnerable_ratio,), n=n, seed=seed, algorithms=(algorithm,)
+    ).grid[0]
+
+
+def fork_scenario(algorithm: Algorithm, seed: int = 0, n: int = 40) -> ExperimentConfig:
+    """Deprecated: use :func:`fork_spec`."""
+    _deprecated("fork_scenario", "fork_spec")
+    return fork_spec(n=n, seed=seed, algorithms=(algorithm,)).grid[0]
+
+
+def epoch_length_scenario(
+    beta: float, seed: int = 0, n: int = 20, height_factor: int = 96
+) -> ExperimentConfig:
+    """Deprecated: use :func:`epoch_length_spec`."""
+    _deprecated("epoch_length_scenario", "epoch_length_spec")
+    return epoch_length_spec(
+        betas=(beta,), n=n, seed=seed, height_factor=height_factor
+    ).grid[0]

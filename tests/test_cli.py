@@ -26,6 +26,18 @@ class TestParser:
         assert args.name == "fig4"
         assert args.nodes == 10
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seeds == "5"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_jobs_flag_on_every_command(self):
+        for command in (["run"], ["sweep"], ["compare"], ["figure", "fig4"]):
+            args = build_parser().parse_args([*command, "--jobs", "3"])
+            assert args.jobs == 3
+
 
 class TestCommands:
     def test_run_command(self, capsys, tmp_path):
@@ -67,3 +79,47 @@ class TestCommands:
     def test_unknown_figure(self, capsys):
         code = main(["figure", "fig99", "-n", "8"])
         assert code == 2
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "-a", "themis", "-n", "8", "--epochs", "2", "--seeds", "2"]
+
+    def test_sweep_reports_stats(self, capsys, tmp_path):
+        code = main([*self.ARGS, "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tps:" in out and "stable σ_f²:" in out
+        assert "engine: 2 tasks (2 unique), 2 executed" in out
+        assert "cache: hits=0 misses=2" in out
+
+    def test_sweep_replays_from_cache(self, capsys, tmp_path):
+        main([*self.ARGS, "--cache-dir", str(tmp_path)])
+        first = capsys.readouterr().out
+        code = main([*self.ARGS, "--cache-dir", str(tmp_path)])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "0 executed, 2 cache hits" in second
+        assert "cache: hits=2 misses=0 hit_rate=100.0%" in second
+        # Identical metric lines: the replay is byte-faithful.
+        assert first.splitlines()[:3] == second.splitlines()[:3]
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        code = main([*self.ARGS, "--no-cache", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache:" not in out
+
+    def test_sweep_explicit_seed_list(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "-a", "themis", "-n", "8", "--epochs", "2",
+             "--seeds", "3,7", "--cache-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seed=3" in out and "seed=7" in out
+
+    def test_sweep_save(self, capsys, tmp_path):
+        save = tmp_path / "records.json"
+        code = main([*self.ARGS, "--no-cache", "--save", str(save)])
+        assert code == 0
+        assert save.exists()

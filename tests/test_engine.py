@@ -1,0 +1,219 @@
+"""Tests for the parallel experiment engine (determinism, isolation, cache)."""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import ResultCache
+from repro.sim.engine import (
+    EngineError,
+    ExperimentEngine,
+    run_config_payload,
+    run_experiments,
+)
+from repro.sim.reporting import result_to_dict
+from repro.sim.runner import ExperimentConfig
+from repro.sim.scenarios import equality_spec
+
+
+def tiny(seed: int = 1, **overrides) -> ExperimentConfig:
+    defaults = dict(algorithm="themis", n=8, epochs=2, seed=seed)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def serialized(results) -> list[str]:
+    return [json.dumps(result_to_dict(r), sort_keys=True) for r in results]
+
+
+def crash_on_seed(payload: str, crash_seed: int) -> str:
+    """Pool worker that hard-kills its process for one poisoned config."""
+    if json.loads(payload)["config"]["seed"] == crash_seed:
+        os._exit(13)
+    return run_config_payload(payload)
+
+
+class CrashingEngine(ExperimentEngine):
+    """Engine whose workers die on a chosen seed (crash-isolation tests)."""
+
+    def __init__(self, crash_seed: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._crash_seed = crash_seed
+
+    def _worker_fn(self):
+        return functools.partial(crash_on_seed, crash_seed=self._crash_seed)
+
+
+class TestDeterminism:
+    def test_parallel_results_byte_identical_to_serial(self):
+        configs = [tiny(seed=s) for s in (1, 2, 3)]
+        serial = ExperimentEngine(jobs=1).run_many(configs)
+        parallel = ExperimentEngine(jobs=2).run_many(configs)
+        assert serialized(serial) == serialized(parallel)
+
+    def test_results_keep_submission_order(self):
+        configs = [tiny(seed=s) for s in (3, 1, 2)]
+        results = ExperimentEngine(jobs=2).run_many(configs)
+        assert [r.config.seed for r in results] == [3, 1, 2]
+
+
+class TestDedupAndMemo:
+    def test_duplicate_configs_run_once(self):
+        engine = ExperimentEngine(jobs=1)
+        a, b = engine.run_many([tiny(), tiny()])
+        assert engine.last_report.unique_tasks == 1
+        assert engine.last_report.executed == 1
+        assert a is b
+
+    def test_memoize_across_batches(self):
+        engine = ExperimentEngine(jobs=1, memoize=True)
+        first = engine.run(tiny())
+        second = engine.run(tiny())
+        assert second is first
+        assert engine.last_report.memo_hits == 1
+        assert engine.last_report.executed == 0
+
+    def test_in_process_results_keep_live_observer(self):
+        result = ExperimentEngine(jobs=1).run(tiny())
+        assert result.observer is not None
+
+    def test_pool_results_have_no_observer(self):
+        results = ExperimentEngine(jobs=2).run_many([tiny(seed=s) for s in (1, 2)])
+        assert all(r.observer is None for r in results)
+
+
+class TestFailureIsolation:
+    def test_serial_exception_is_attributed(self):
+        engine = ExperimentEngine(jobs=1, allow_failures=True)
+        bad = tiny(seed=2, max_events=10)  # trips the event-cap guard
+        results = engine.run_many([tiny(seed=1), bad])
+        assert results[0] is not None
+        assert results[1] is None
+        (failure,) = engine.last_report.failures
+        assert failure.config == bad
+        assert "task 1" in failure.describe()
+
+    def test_failures_raise_engine_error_by_default(self):
+        engine = ExperimentEngine(jobs=1)
+        with pytest.raises(EngineError, match="1/1 experiment task"):
+            engine.run(tiny(max_events=10))
+
+    def test_pool_exception_fails_one_point_not_the_sweep(self):
+        engine = ExperimentEngine(jobs=2, allow_failures=True)
+        results = engine.run_many(
+            [tiny(seed=1), tiny(seed=2, max_events=10), tiny(seed=3)]
+        )
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+        assert len(engine.last_report.failures) == 1
+
+    def test_worker_death_retires_culprit_and_spares_innocents(self):
+        engine = CrashingEngine(
+            crash_seed=2, jobs=2, allow_failures=True, crash_retries=0
+        )
+        results = engine.run_many([tiny(seed=s) for s in (1, 2, 3)])
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+        report = engine.last_report
+        assert report.pool_rebuilds >= 1
+        (failure,) = report.failures
+        assert failure.config.seed == 2
+        assert "died" in failure.error
+
+    def test_serial_retries_recover_flaky_task(self, monkeypatch):
+        from repro.sim import engine as engine_mod
+        from repro.sim.runner import run_experiment
+
+        calls = {"n": 0}
+
+        def flaky(cfg):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise SimulationError("transient")
+            return run_experiment(cfg)
+
+        monkeypatch.setattr(engine_mod, "run_experiment", flaky)
+        engine = ExperimentEngine(jobs=1, retries=1)
+        result = engine.run(tiny())
+        assert result.tps > 0
+        assert engine.last_report.retries == 1
+        assert calls["n"] == 2
+
+    def test_timeout_fails_cleanly_in_pool(self):
+        # A run that cannot finish within a 2s SIGALRM budget, next to a
+        # ~0.1s one: the slow point fails with an attributable timeout error
+        # while the quick one completes (even with both workers sharing one
+        # core under full-suite load).
+        engine = ExperimentEngine(jobs=2, timeout=2.0, allow_failures=True)
+        slow = tiny(seed=1, n=24, epochs=8)
+        quick = tiny(seed=2, n=6, epochs=1)
+        results = engine.run_many([slow, quick])
+        assert results[1] is not None
+        assert results[0] is None
+        (failure,) = engine.last_report.failures
+        assert "timeout" in failure.error
+
+
+class TestCacheIntegration:
+    def test_replay_executes_nothing(self, tmp_path):
+        configs = [tiny(seed=s) for s in (1, 2)]
+        first = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        originals = first.run_many(configs)
+        assert first.last_report.executed == 2
+
+        replay = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        replayed = replay.run_many(configs)
+        assert replay.last_report.executed == 0
+        assert replay.last_report.cache_hits == 2
+        assert serialized(replayed) == serialized(originals)
+
+    def test_pool_runs_populate_the_cache(self, tmp_path):
+        configs = [tiny(seed=s) for s in (1, 2)]
+        ExperimentEngine(jobs=2, cache=ResultCache(tmp_path)).run_many(configs)
+        replay = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        replay.run_many(configs)
+        assert replay.last_report.cache_hits == 2
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=tmp_path)
+        assert isinstance(engine.cache, ResultCache)
+        engine.run(tiny())
+        assert engine.cache.stats.puts == 1
+
+
+class TestEngineSurface:
+    def test_jobs_zero_means_all_cores(self):
+        assert ExperimentEngine(jobs=0).jobs == (os.cpu_count() or 1)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentEngine(jobs=-1)
+
+    def test_run_spec(self):
+        spec = equality_spec(n=8, epochs=2, algorithms=("themis",))
+        engine = ExperimentEngine(jobs=1)
+        results = engine.run_spec(spec, seeds=[1, 2])
+        assert [r.config.seed for r in results] == [1, 2]
+
+    def test_progress_lines_emitted(self):
+        lines: list[str] = []
+        ExperimentEngine(jobs=1, progress=lines.append).run(tiny())
+        assert len(lines) == 1
+        assert lines[0].startswith("[1/1] themis n=8 seed=1")
+
+    def test_run_experiments_convenience(self):
+        results = run_experiments([tiny()])
+        assert len(results) == 1
+        assert results[0].tps > 0
+
+    def test_report_summary_format(self):
+        engine = ExperimentEngine(jobs=1)
+        engine.run(tiny())
+        summary = engine.last_report.summary()
+        assert "engine: 1 tasks (1 unique), 1 executed" in summary
+        assert "jobs=1" in summary

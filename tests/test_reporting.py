@@ -6,11 +6,14 @@ import json
 
 import pytest
 
+from repro.chaos.schedule import CrashFault, FaultPlan, LinkFault
 from repro.errors import SimulationError
 from repro.sim.reporting import (
     ascii_chart,
+    config_from_dict,
     config_to_dict,
     load_results,
+    result_from_dict,
     result_to_dict,
     save_results,
     summary_line,
@@ -61,6 +64,57 @@ class TestSerialization:
         path.write_text('{"not": "a list"}')
         with pytest.raises(SimulationError):
             load_results(path)
+
+
+class TestRoundTrip:
+    """Exact JSON round-trips (what the engine workers and cache rely on)."""
+
+    def test_result_roundtrips_byte_identical(self, small_result):
+        wire = json.dumps(result_to_dict(small_result), sort_keys=True)
+        restored = result_from_dict(json.loads(wire))
+        assert json.dumps(result_to_dict(restored), sort_keys=True) == wire
+
+    def test_pbft_result_roundtrips(self, pbft_result):
+        record = result_to_dict(pbft_result)
+        assert result_to_dict(result_from_dict(record)) == record
+
+    def test_restored_result_has_no_live_objects(self, small_result):
+        restored = result_from_dict(result_to_dict(small_result))
+        assert restored.observer is None
+        assert restored.pbft is None
+        assert restored.tps == small_result.tps
+        assert restored.equality == small_result.equality
+
+    def test_config_roundtrips_equal(self):
+        cfg = ExperimentConfig(algorithm="pow-h", n=12, seed=3, beta=6.5)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_config_with_fault_plan_roundtrips(self):
+        plan = FaultPlan(
+            faults=(
+                CrashFault(node=2, at=10.0, restart_at=40.0),
+                LinkFault(at=5.0, until=25.0, nodes=(1, 3), loss=0.2),
+            )
+        )
+        cfg = ExperimentConfig(algorithm="themis", n=8, seed=1, fault_plan=plan)
+        record = json.loads(json.dumps(config_to_dict(cfg)))
+        assert config_from_dict(record) == cfg
+
+    def test_chaos_result_roundtrips(self):
+        plan = FaultPlan(faults=(CrashFault(node=3, at=20.0, restart_at=60.0),))
+        result = run_experiment(
+            ExperimentConfig(algorithm="themis", n=8, epochs=2, seed=1, fault_plan=plan)
+        )
+        wire = json.dumps(result_to_dict(result), sort_keys=True)
+        restored = result_from_dict(json.loads(wire))
+        assert json.dumps(result_to_dict(restored), sort_keys=True) == wire
+        assert restored.config.fault_plan == plan
+
+    def test_config_from_dict_rejects_unknown_fields(self):
+        record = config_to_dict(ExperimentConfig(algorithm="themis", n=8))
+        record["warp_factor"] = 9
+        with pytest.raises(SimulationError):
+            config_from_dict(record)
 
 
 class TestRendering:

@@ -7,11 +7,12 @@ import pytest
 from repro.sim.runner import ExperimentConfig, run_experiment
 from repro.sim.scenarios import (
     ALL_ALGORITHMS,
-    attack_scenario,
-    epoch_length_scenario,
+    attack_spec,
+    epoch_length_spec,
     equality_scenario,
-    fork_scenario,
-    scalability_scenario,
+    equality_spec,
+    fork_spec,
+    scalability_spec,
 )
 
 
@@ -74,13 +75,19 @@ class TestPBFTRuns:
 
 
 class TestScenarios:
-    def test_all_scenarios_construct(self):
-        for algorithm in ALL_ALGORITHMS:
-            assert equality_scenario(algorithm).algorithm == algorithm
-        assert scalability_scenario("pbft", 16).n == 16
-        assert attack_scenario("themis", 0.16).vulnerable_ratio == 0.16
-        assert fork_scenario("pow-h").i0 == 4.0
-        assert epoch_length_scenario(7.0).beta == 7.0
+    def test_all_specs_construct(self):
+        grid = equality_spec(algorithms=ALL_ALGORITHMS).grid
+        assert tuple(cfg.algorithm for cfg in grid) == ALL_ALGORITHMS
+        assert scalability_spec(ns=(16,), algorithms=("pbft",)).grid[0].n == 16
+        attack = attack_spec(ratios=(0.16,), algorithms=("themis",)).grid[0]
+        assert attack.vulnerable_ratio == 0.16
+        assert fork_spec(algorithms=("pow-h",)).grid[0].i0 == 4.0
+        assert epoch_length_spec(betas=(7.0,)).grid[0].beta == 7.0
+
+    def test_deprecated_scenario_wrapper(self):
+        with pytest.warns(DeprecationWarning, match="equality_scenario"):
+            legacy = equality_scenario("themis")
+        assert legacy == equality_spec(algorithms=("themis",)).grid[0]
 
     def test_epoch_blocks_property(self):
         result = run_experiment(small("themis"))

@@ -1,0 +1,137 @@
+"""Tests for ScenarioSpec and the per-figure spec builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.runner import ExperimentConfig, run_experiment
+from repro.sim.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    attack_scenario,
+    attack_spec,
+    epoch_length_scenario,
+    epoch_length_spec,
+    equality_scenario,
+    equality_spec,
+    fork_scenario,
+    fork_spec,
+    metric_tps,
+    scalability_scenario,
+    scalability_spec,
+)
+
+
+def one_config() -> ExperimentConfig:
+    return ExperimentConfig(algorithm="themis", n=8, epochs=2, seed=1)
+
+
+class TestScenarioSpec:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SimulationError, match="empty grid"):
+            ScenarioSpec(name="bad", grid=())
+
+    def test_duplicate_metric_labels_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            ScenarioSpec(
+                name="bad",
+                grid=(one_config(),),
+                metrics=(("tps", metric_tps), ("tps", metric_tps)),
+            )
+
+    def test_specs_are_frozen_and_hashable(self):
+        spec = equality_spec(n=8, epochs=2)
+        assert spec == equality_spec(n=8, epochs=2)
+        assert hash(spec) == hash(equality_spec(n=8, epochs=2))
+        with pytest.raises(AttributeError):
+            spec.name = "other"  # type: ignore[misc]
+
+    def test_configs_without_seeds_returns_grid(self):
+        spec = equality_spec(n=8, epochs=2)
+        assert spec.configs() == spec.grid
+
+    def test_configs_cross_seeds_grid_major(self):
+        spec = equality_spec(n=8, epochs=2, algorithms=("themis", "pow-h"))
+        crossed = spec.configs(seeds=[5, 6])
+        assert [(c.algorithm, c.seed) for c in crossed] == [
+            ("themis", 5), ("themis", 6), ("pow-h", 5), ("pow-h", 6),
+        ]
+
+    def test_configs_with_empty_seeds_rejected(self):
+        with pytest.raises(SimulationError):
+            equality_spec(n=8, epochs=2).configs(seeds=[])
+
+    def test_metric_labels_and_extract(self):
+        spec = equality_spec(n=8, epochs=2, algorithms=("themis",))
+        assert spec.metric_labels == ("sigma_f2", "sigma_p2", "tps")
+        result = run_experiment(spec.grid[0])
+        metrics = spec.extract(result)
+        assert set(metrics) == {"sigma_f2", "sigma_p2", "tps"}
+        assert metrics["tps"] == pytest.approx(result.tps)
+
+    def test_registry_covers_every_figure(self):
+        assert set(SCENARIOS) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+        for builder in SCENARIOS.values():
+            assert builder().grid
+
+
+class TestBuilders:
+    def test_equality_grid_order_follows_algorithms(self):
+        grid = equality_spec(algorithms=("pbft", "themis")).grid
+        assert [c.algorithm for c in grid] == ["pbft", "themis"]
+
+    def test_scalability_grid_is_algorithm_major(self):
+        spec = scalability_spec(ns=(16, 50), algorithms=("themis", "pbft"))
+        assert [(c.algorithm, c.n) for c in spec.grid] == [
+            ("themis", 16), ("themis", 50), ("pbft", 16), ("pbft", 50),
+        ]
+
+    def test_attack_grid_carries_ratios(self):
+        spec = attack_spec(ratios=(0.0, 0.25), algorithms=("themis",))
+        assert [c.vulnerable_ratio for c in spec.grid] == [0.0, 0.25]
+
+    def test_epoch_length_epochs_scale_inverse_to_beta(self):
+        spec = epoch_length_spec(betas=(2.0, 16.0), height_factor=96)
+        by_beta = {c.beta: c.epochs for c in spec.grid}
+        assert by_beta[2.0] == 48
+        assert by_beta[16.0] == 6
+
+
+class TestDeprecatedWrappers:
+    @pytest.mark.parametrize(
+        "wrapper,builder_equiv",
+        [
+            (
+                lambda: equality_scenario("themis", seed=3, n=10, epochs=4),
+                lambda: equality_spec(
+                    n=10, epochs=4, seed=3, algorithms=("themis",)
+                ).grid[0],
+            ),
+            (
+                lambda: scalability_scenario("pbft", 16, seed=2),
+                lambda: scalability_spec(
+                    ns=(16,), seed=2, algorithms=("pbft",)
+                ).grid[0],
+            ),
+            (
+                lambda: attack_scenario("pow-h", 0.16, seed=1, n=12),
+                lambda: attack_spec(
+                    ratios=(0.16,), n=12, seed=1, algorithms=("pow-h",)
+                ).grid[0],
+            ),
+            (
+                lambda: fork_scenario("themis-lite", seed=4, n=12),
+                lambda: fork_spec(n=12, seed=4, algorithms=("themis-lite",)).grid[0],
+            ),
+            (
+                lambda: epoch_length_scenario(7.0, seed=1, n=10),
+                lambda: epoch_length_spec(betas=(7.0,), n=10, seed=1).grid[0],
+            ),
+        ],
+        ids=["equality", "scalability", "attack", "fork", "epoch_length"],
+    )
+    def test_wrappers_warn_and_match_builders(self, wrapper, builder_equiv):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = wrapper()
+        assert legacy == builder_equiv()

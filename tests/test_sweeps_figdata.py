@@ -7,7 +7,14 @@ import pytest
 from repro.errors import SimulationError
 from repro.sim.figdata import FigureData, export_series
 from repro.sim.runner import ExperimentConfig
-from repro.sim.sweeps import SweepSummary, compare_algorithms, seed_sweep, summarize
+from repro.sim.scenarios import equality_spec
+from repro.sim.sweeps import (
+    SweepSummary,
+    compare_algorithms,
+    seed_sweep,
+    summarize,
+    sweep,
+)
 
 
 class TestSweepSummary:
@@ -36,19 +43,46 @@ class TestSweepSummary:
         assert "95% CI" in SweepSummary((1.0, 2.0)).format(" tps")
 
 
-class TestSeedSweep:
+class TestSweep:
     def test_sweep_and_summarize(self):
         base = ExperimentConfig(algorithm="themis", n=8, epochs=2)
-        results = seed_sweep(base, seeds=[1, 2])
+        results = sweep(experiment=base, seeds=[1, 2])
         assert len(results) == 2
         assert results[0].config.seed == 1
         summary = summarize(results, lambda r: r.tps)
         assert summary.n == 2
         assert summary.mean > 0
 
-    def test_empty_seeds_rejected(self):
+    def test_sweep_over_scenario_spec(self):
+        spec = equality_spec(n=8, epochs=2, algorithms=("themis", "pow-h"))
+        results = sweep(experiment=spec, seeds=[1, 2])
+        # Grid-major: both seeds of grid[0], then both seeds of grid[1].
+        assert [r.config.algorithm for r in results] == [
+            "themis", "themis", "pow-h", "pow-h",
+        ]
+        assert [r.config.seed for r in results] == [1, 2, 1, 2]
+
+    def test_sweep_is_keyword_only(self):
+        base = ExperimentConfig(algorithm="themis", n=8, epochs=2)
+        with pytest.raises(TypeError):
+            sweep(base, [1, 2])  # type: ignore[misc]
+
+    def test_sweep_rejects_wrong_experiment_type(self):
         with pytest.raises(SimulationError):
-            seed_sweep(ExperimentConfig(algorithm="themis", n=8), seeds=[])
+            sweep(experiment="themis", seeds=[1])  # type: ignore[arg-type]
+
+    def test_empty_seeds_rejected(self):
+        base = ExperimentConfig(algorithm="themis", n=8)
+        with pytest.raises(SimulationError):
+            sweep(experiment=base, seeds=[])
+
+    def test_seed_sweep_wrapper_warns_and_matches(self):
+        base = ExperimentConfig(algorithm="themis", n=8, epochs=2)
+        with pytest.warns(DeprecationWarning, match="seed_sweep"):
+            legacy = seed_sweep(base, seeds=[1])
+        modern = sweep(experiment=base, seeds=[1])
+        assert legacy[0].config == modern[0].config
+        assert legacy[0].tps == modern[0].tps
 
     def test_compare_algorithms(self):
         base = ExperimentConfig(algorithm="themis", n=8, epochs=2, pbft_rounds=16)
