@@ -29,7 +29,7 @@ Environment knobs (the defaults reproduce the historical serial behavior):
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from collections.abc import Sequence
 
 import pytest
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import replace
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.chain.blocktree import BlockTree
 from repro.chain.forkchoice import ForkChoiceRule

@@ -67,7 +67,7 @@ def test_chaos_recovery_graceful_degradation(run_once):
     print(suite.summary())
 
     assert stable_value(suite.baseline.equality, robust=True) > 0
-    for run, tps_ratio, eq_ratio in zip(suite.chaos_runs, tps_ratios, eq_ratios):
+    for run, tps_ratio, eq_ratio in zip(suite.chaos_runs, tps_ratios, eq_ratios, strict=True):
         # Faults actually bit: the expected churn was injected and observable.
         expected_crashes = round(CHURN * N)
         assert run.chaos.crashes == expected_crashes

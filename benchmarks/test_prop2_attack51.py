@@ -43,10 +43,10 @@ def test_prop2_51_percent_resilience(run_once):
         empirical = table[q]
         analytic = [nakamoto_catch_up_probability(q, z) for z in DEPTHS]
         # 1. Monotone decrease toward 0 with depth.
-        assert all(a >= b - 0.02 for a, b in zip(empirical, empirical[1:])), q
+        assert all(a >= b - 0.02 for a, b in zip(empirical, empirical[1:], strict=False)), q
         assert empirical[-1] < 0.25
         # 2. Matches the closed form within sampling error.
-        for emp, ana in zip(empirical, analytic):
+        for emp, ana in zip(empirical, analytic, strict=True):
             assert abs(emp - ana) < 0.03, (q, emp, ana)
     # 3. Deep confirmations kill even strong attackers (q = 0.8 at depth 8).
     assert table[0.8][-1] < nakamoto_catch_up_probability(0.8, 8) + 0.03

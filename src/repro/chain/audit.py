@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.chain.block import Block
 from repro.core.difficulty import DifficultyParams, DifficultyTable, advance_table

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.chain.codec import Reader, Writer
 from repro.chain.transaction import Transaction

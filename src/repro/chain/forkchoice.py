@@ -15,7 +15,7 @@ leaf block of the first received sub-tree" (§V-B).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.chain.block import Block
 from repro.chain.blocktree import BlockTree

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from hashlib import sha256
-from typing import TYPE_CHECKING, Any, Iterable, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Union
 
 from repro.errors import SimulationError
 from repro.net.network import LinkDisturbance, SimulatedNetwork

@@ -39,7 +39,8 @@ consensus, not that a censored producer converges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError, SimulationError
 from repro.net.network import SimulatedNetwork
@@ -242,7 +243,8 @@ class InvariantMonitor:
             seen.setdefault(block_id, node.node_id)
         if len(seen) > 1:
             owners = ", ".join(
-                f"node {owner}:{block_id.hex()[:10]}" for block_id, owner in seen.items()
+                f"node {owner}:{block_id.hex()[:10]}"
+                for block_id, owner in sorted(seen.items())
             )
             self._violate(
                 SafetyViolation,
@@ -258,10 +260,11 @@ class InvariantMonitor:
                 continue
             roots = by_head.setdefault(node.state.head_id, {})
             roots.setdefault(state_root(), node.node_id)
-        for head, roots in by_head.items():
+        for head, roots in sorted(by_head.items()):
             if len(roots) > 1:
                 owners = ", ".join(
-                    f"node {owner}:{root.hex()[:10]}" for root, owner in roots.items()
+                    f"node {owner}:{root.hex()[:10]}"
+                    for root, owner in sorted(roots.items())
                 )
                 self._violate(
                     SafetyViolation,

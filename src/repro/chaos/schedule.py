@@ -17,7 +17,8 @@ identical final chain — this is asserted by ``tests/test_chaos.py``.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -192,7 +193,7 @@ def random_fault_plan(
         # Split off a random minority (a quarter to a half of the fleet,
         # at least one node) and heal within the run.
         minority_size = max(1, int(rng.integers(len(ids) // 4 or 1, len(ids) // 2 + 1)))
-        minority = set(int(v) for v in rng.choice(ids, minority_size, replace=False))
+        minority = {int(v) for v in rng.choice(ids, minority_size, replace=False)}
         majority = tuple(i for i in ids if i not in minority)
         at = float(rng.uniform(0.15, 0.5)) * duration
         heal_at = at + float(rng.uniform(0.08, 0.2)) * duration

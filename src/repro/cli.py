@@ -7,7 +7,9 @@ Commands:
 * ``sweep`` — one configuration across many seeds, in parallel, through
   the content-addressed result cache, with aggregate statistics;
 * ``figure`` — regenerate a paper figure's data series at a chosen scale;
-* ``compare`` — run all four algorithms side by side at one configuration.
+* ``compare`` — run all four algorithms side by side at one configuration;
+* ``lint`` — the determinism & protocol-safety static analysis suite
+  (forwards to :mod:`repro.lint`; see ``docs/static-analysis.md``).
 
 Examples::
 
@@ -25,7 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import SimulationError
 from repro.sim.cache import ResultCache, default_cache_dir
@@ -177,7 +179,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         spec = equality_spec(n=args.nodes, epochs=args.epochs, seed=args.seed)
         results = engine.run_many(list(spec.grid))
         series = {}
-        for cfg, result in zip(spec.grid, results):
+        for cfg, result in zip(spec.grid, results, strict=True):
             series[cfg.algorithm] = (
                 result.equality if name == "fig4" else result.unpredictability
             )
@@ -212,7 +214,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     elif name == "fig8":
         spec = fork_spec(n=args.nodes, seed=args.seed)
         results = engine.run_many(list(spec.grid))
-        for cfg, result in zip(spec.grid, results):
+        for cfg, result in zip(spec.grid, results, strict=True):
             report = result.fork
             print(
                 f"{cfg.algorithm:>12s}: fork rate {100 * report.fork_rate:5.2f}% "
@@ -227,7 +229,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             n=args.nodes, seed=args.seed, height_factor=height_factor
         )
         results = engine.run_many(list(spec.grid))
-        for cfg, result in zip(spec.grid, results):
+        for cfg, result in zip(spec.grid, results, strict=True):
             print(
                 f"beta={cfg.beta:5.1f}: stable σ_f² = "
                 f"{stable_value(result.equality):.3e}"
@@ -237,6 +239,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 2
     _report_engine(engine)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.rest)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("name", help="fig4 | fig5 | fig6 | fig7 | fig8 | fig9")
     _add_common(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="determinism & protocol-safety static analysis (REP001-REP006)",
+        add_help=False,
+    )
+    lint_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -29,7 +29,9 @@ Two workload modes:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.chain.block import Block, sign_block
 from repro.chain.blocktree import BlockTree
@@ -112,7 +114,7 @@ class MiningNode(ConsensusNode):
     #: Optional shared event log (see :mod:`repro.sim.tracing`).
     tracer = None
 
-    def _trace(self, kind: str, **detail) -> None:
+    def _trace(self, kind: str, **detail: Any) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.ctx.sim.now, self.node_id, kind, **detail)
 
@@ -124,7 +126,7 @@ class MiningNode(ConsensusNode):
         config: MiningNodeConfig,
         mempool: Mempool | None = None,
         executor: Executor | None = None,
-        members_fn=None,
+        members_fn: Callable[[], list[bytes]] | None = None,
     ) -> None:
         super().__init__(node_id, keypair, ctx)
         self.config = config

@@ -26,7 +26,7 @@ information and the same rules ... without extra communication".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.crypto.hashing import T_MAX
 from repro.errors import DifficultyError

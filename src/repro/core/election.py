@@ -16,7 +16,7 @@ executor by the caller because it needs chain state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.chain.block import BLOCK_VERSION, Block, BlockHeader, sign_block
 from repro.chain.transaction import Transaction

@@ -14,7 +14,7 @@ chain produced entirely by one pool would look perfectly "equal".
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 

@@ -22,7 +22,7 @@ effect Fig. 2's example relies on (block 4C's chain beats 3B's).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.chain.blocktree import BlockTree
 from repro.chain.forkchoice import ForkChoiceRule

@@ -29,7 +29,7 @@ win rates that the mining oracle machinery can race, so every Themis metric
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 

@@ -27,7 +27,8 @@ paper's four-way comparison matrix.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Literal, Sequence
+from collections.abc import Callable, Sequence
+from typing import Literal
 
 from repro.chain.block import Block
 from repro.chain.blocktree import BlockTree

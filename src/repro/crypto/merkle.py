@@ -10,7 +10,7 @@ finalized without replaying the block body.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.crypto.hashing import sha256d
 from repro.errors import ChainError

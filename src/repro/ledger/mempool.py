@@ -11,7 +11,7 @@ advance, and re-admission of transactions orphaned by a reorg.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.chain.transaction import Transaction
 

@@ -1,0 +1,53 @@
+"""``repro.lint`` — determinism & protocol-safety static analysis.
+
+The evaluation pipeline depends on bit-determinism: the experiment engine
+asserts parallel runs are byte-identical to serial runs, and the result
+cache replays sha256-keyed entries as if they were fresh physics.  One
+unseeded RNG call, wall-clock read, or unordered-set iteration in a
+consensus path silently poisons every figure the reproduction reports.
+This package encodes those invariants as named, testable AST rules:
+
+========  ==============================================================
+ code      invariant
+========  ==============================================================
+ REP001    no wall-clock reads in simulation-path packages
+ REP002    no global / unseeded RNG (stdlib ``random``, legacy
+           ``numpy.random`` module API)
+ REP003    no unordered ``set``/``dict`` iteration feeding hashing,
+           serde, or message emission without ``sorted()``
+ REP004    serde completeness — engine-crossing dataclasses round-trip
+           through registered to/from-dict pairs
+ REP005    message dataclasses are ``frozen=True`` and never mutated
+           after receipt
+ REP006    no ``pickle`` across the engine's process boundary; no
+           ``os.environ`` reads outside the sanctioned config gateway
+========  ==============================================================
+
+Findings can be silenced per line with ``# repro: allow[CODE]`` (several
+codes comma-separated); suppressions that silence nothing are themselves
+reported (REP000) so stale waivers cannot accumulate.
+
+Run it as ``python -m repro.lint src tests benchmarks`` or via the main
+CLI as ``python -m repro lint``.  See ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, SerdeAnchor, UnionRegistry
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintResult, iter_python_files, lint_paths
+from repro.lint.registry import RULES, Rule, all_rules
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "SerdeAnchor",
+    "UnionRegistry",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+]

@@ -1,0 +1,162 @@
+"""Rule configuration: which packages, anchors, and registries to check.
+
+The defaults encode *this* repository's invariants (the packages whose
+code runs inside the deterministic simulation, the serde anchors of the
+engine/cache boundary, the fault-kind registry).  Tests construct custom
+configs pointed at fixture trees, so every rule is exercised against
+minimal projects rather than the live codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SerdeAnchor:
+    """An engine-crossing dataclass and its designated to/from-dict pair.
+
+    ``REP004`` checks that every field of the dataclass (minus inline
+    waivers) is covered by both functions, and that every project
+    dataclass referenced in its field annotations is constructible from a
+    dict somewhere in the from-dict family.
+    """
+
+    dataclass_module: str
+    dataclass_name: str
+    serde_module: str
+    to_fn: str
+    from_fn: str
+    exempt_fields: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class UnionRegistry:
+    """A tagged-union type alias and the registry dict that dispatches it.
+
+    ``REP004`` checks the two stay in lock-step: every union member is
+    registered, and no stale class lingers in the registry.
+    """
+
+    union_module: str
+    union_name: str
+    registry_module: str
+    registry_name: str
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the rules need to know about the project layout."""
+
+    #: Sub-packages of ``repro`` whose code executes inside the simulation
+    #: (REP001/REP003/REP005 scope).  Only the simulated clock ticks here.
+    sim_packages: frozenset[str] = frozenset(
+        {"consensus", "chain", "net", "node", "mining", "ledger", "sim", "chaos"}
+    )
+
+    #: Modules allowed to read ``os.environ`` (REP006).  Everything else
+    #: must route through the :mod:`repro.node.config` gateway.
+    environ_allowed_modules: frozenset[str] = frozenset(
+        {"repro.node.config", "benchmarks.conftest"}
+    )
+
+    #: Function-name pattern marking hashing / serde / message-emission
+    #: context for REP003 (matched case-insensitively as a substring).
+    context_pattern: str = (
+        r"hash|digest|sign|serial|canonical|encode|to_dict|to_bytes|to_json"
+        r"|key_for|merkle|root|payload|emit|broadcast|gossip|send"
+    )
+
+    #: Class-name pattern marking network-message dataclasses for REP005.
+    message_name_pattern: str = r"(Message|Envelope|Request|Response|Vote|Ballot)$"
+
+    #: Modules whose every dataclass is a network message (REP005).
+    message_modules: frozenset[str] = frozenset({"repro.net.message"})
+
+    #: Engine-crossing serde anchors (REP004).
+    serde_anchors: tuple[SerdeAnchor, ...] = (
+        SerdeAnchor(
+            dataclass_module="repro.sim.runner",
+            dataclass_name="RunResult",
+            serde_module="repro.sim.reporting",
+            to_fn="result_to_dict",
+            from_fn="result_from_dict",
+        ),
+        SerdeAnchor(
+            dataclass_module="repro.sim.runner",
+            dataclass_name="ExperimentConfig",
+            serde_module="repro.sim.reporting",
+            to_fn="config_to_dict",
+            from_fn="config_from_dict",
+        ),
+    )
+
+    #: Tagged unions whose member set must match a dispatch registry (REP004).
+    union_registries: tuple[UnionRegistry, ...] = (
+        UnionRegistry(
+            union_module="repro.chaos.faults",
+            union_name="FaultSpec",
+            registry_module="repro.chaos.schedule",
+            registry_name="_FAULT_KINDS",
+        ),
+    )
+
+    #: Names whose calls read the wall clock (REP001).
+    wall_clock_calls: frozenset[str] = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    #: ``numpy.random`` attributes that are *not* the legacy global-state
+    #: API: seeded construction stays legal (REP002).
+    numpy_random_allowed: frozenset[str] = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "BitGenerator",
+            "SeedSequence",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "MT19937",
+            "SFC64",
+        }
+    )
+
+    #: stdlib ``random`` attributes that are seeded-generator construction
+    #: rather than hidden-global-state draws (REP002).
+    stdlib_random_allowed: frozenset[str] = frozenset({"Random"})
+
+    #: Module prefixes whose import is a process-boundary hazard (REP006).
+    pickle_modules: frozenset[str] = frozenset(
+        {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve", "marshal"}
+    )
+
+    extra: dict[str, object] = field(default_factory=dict, compare=False)
+
+    # -- scope helpers ----------------------------------------------------------
+
+    def is_sim_module(self, module: str) -> bool:
+        """True for modules inside a simulation-path package."""
+        if not module.startswith("repro."):
+            return False
+        parts = module.split(".")
+        return len(parts) >= 2 and parts[1] in self.sim_packages
+
+    def is_repro_module(self, module: str) -> bool:
+        return module == "repro" or module.startswith("repro.")
+
+
+DEFAULT_CONFIG = LintConfig()

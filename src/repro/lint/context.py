@@ -1,0 +1,125 @@
+"""Per-file analysis context: module naming and import resolution."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.suppressions import SuppressionSet
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for a source file.
+
+    ``src/repro/net/message.py`` → ``repro.net.message``;
+    ``tests/test_lint.py`` → ``tests.test_lint``;
+    ``benchmarks/conftest.py`` → ``benchmarks.conftest``.  Rules use the
+    module name (never the raw path) for scoping, so fixture trees that
+    mirror the layout are classified identically to the live tree.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return ""
+    # A `repro` package rooted under `src/` wins; otherwise the last
+    # occurrence of `repro` (installed layouts).
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro" and index > 0 and parts[index - 1] == "src":
+            return ".".join(parts[index:])
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    for top in ("tests", "benchmarks", "examples"):
+        if top in parts:
+            index = len(parts) - 1 - parts[::-1].index(top)
+            return ".".join(parts[index:])
+    return parts[-1]
+
+
+class ImportMap(ast.NodeVisitor):
+    """Collects local-name → dotted-path bindings from import statements.
+
+    ``import numpy as np`` binds ``np → numpy``; ``from time import
+    perf_counter as pc`` binds ``pc → time.perf_counter``.  Function-local
+    imports are collected too (scoping is deliberately flat: a file that
+    imports a hazard anywhere is treated as using it by that name).
+    """
+
+    def __init__(self) -> None:
+        self.bindings: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.bindings[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never alias the hazard modules
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.bindings[local] = f"{node.module}.{alias.name}"
+
+
+def resolve_dotted(node: ast.AST, bindings: dict[str, str]) -> str | None:
+    """Resolve an expression like ``np.random.rand`` to ``numpy.random.rand``.
+
+    Returns ``None`` when the root name is not an import binding (e.g. an
+    attribute chain rooted at ``self``).
+    """
+    attrs: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        attrs.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    base = bindings.get(current.id)
+    if base is None:
+        return None
+    return ".".join([base, *reversed(attrs)])
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionSet
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        path: Path,
+        display_path: str,
+        source: str,
+        tree: ast.Module,
+        suppressions: SuppressionSet,
+    ) -> "FileContext":
+        imports = ImportMap()
+        imports.visit(tree)
+        return cls(
+            path=path,
+            display_path=display_path,
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            suppressions=suppressions,
+            bindings=imports.bindings,
+        )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted canonical name of an attribute/name chain, if imported."""
+        return resolve_dotted(node, self.bindings)

@@ -1,0 +1,55 @@
+"""Diagnostic records and output formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Meta code: a suppression comment that silenced nothing (or names an
+#: unknown rule).  Not suppressible — stale waivers must be deleted.
+UNUSED_SUPPRESSION = "REP000"
+
+#: Meta code: a file that could not be parsed at all.
+PARSE_ERROR = "REP900"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, anchored to an exact source location.
+
+    Ordering is (path, line, col, code) so reports are stable regardless
+    of rule execution order — the text output is byte-reproducible.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def text(self) -> str:
+        """``path:line:col: CODE message`` — the clickable text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def github(self) -> str:
+        """GitHub Actions workflow-command annotation form."""
+        # Workflow commands terminate the message at newlines/percents.
+        message = (
+            f"{self.code} {self.message}".replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        return (
+            f"::error file={self.path},line={self.line},"
+            f"col={self.col},title={self.code}::{message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe record (the ``--format json`` element shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,193 @@
+"""File discovery, rule execution, and suppression accounting."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+import repro.lint.rules  # noqa: F401  -- registers REP001-REP006 on import
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import PARSE_ERROR, UNUSED_SUPPRESSION, Diagnostic
+from repro.lint.registry import RULES, Rule
+from repro.lint.suppressions import collect_suppressions
+from repro.lint.symbols import ProjectSymbols
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.add(Path(dirpath) / filename)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _select_rules(
+    config: LintConfig,
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[Rule]:
+    wanted = set(select) if select is not None else set(RULES)
+    unwanted = set(ignore) if ignore is not None else set()
+    unknown = (wanted | unwanted) - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [
+        cls(config)
+        for code, cls in RULES.items()
+        if code in wanted and code not in unwanted
+    ]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    config: LintConfig = DEFAULT_CONFIG,
+    root: str | Path | None = None,
+    report_unused: bool = True,
+) -> LintResult:
+    """Lint files/directories and return sorted diagnostics.
+
+    Args:
+        paths: files or directories to analyze (directories recurse).
+        select: run only these rule codes (default: all registered).
+        ignore: rule codes to skip.
+        config: project-layout configuration for the rules.
+        root: base for display paths (default: current directory).
+        report_unused: emit REP000 for suppressions that silenced nothing.
+    """
+    rules = _select_rules(config, select, ignore)
+    active_codes = frozenset(rule.code for rule in rules)
+    base = Path(root) if root is not None else Path.cwd()
+
+    contexts: list[FileContext] = []
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        try:
+            display = str(path.resolve().relative_to(base.resolve()))
+        except ValueError:
+            display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            diagnostics.append(
+                Diagnostic(
+                    path=display,
+                    line=int(line),
+                    col=0,
+                    code=PARSE_ERROR,
+                    message=f"could not analyze file: {exc}",
+                )
+            )
+            continue
+        contexts.append(
+            FileContext.build(
+                path=path,
+                display_path=display,
+                source=source,
+                tree=tree,
+                suppressions=collect_suppressions(source),
+            )
+        )
+
+    project = ProjectSymbols.collect(contexts)
+    by_display = {ctx.display_path: ctx for ctx in contexts}
+
+    raw: list[Diagnostic] = []
+    for rule in rules:
+        for ctx in contexts:
+            raw.extend(rule.check_file(ctx, project))
+        raw.extend(rule.check_project(project))
+
+    for diagnostic in raw:
+        ctx = by_display.get(diagnostic.path)
+        if ctx is not None and ctx.suppressions.is_suppressed(
+            diagnostic.line, diagnostic.code
+        ):
+            continue
+        diagnostics.append(diagnostic)
+
+    for ctx in contexts:
+        for line, code in ctx.suppressions.malformed:
+            diagnostics.append(
+                Diagnostic(
+                    path=ctx.display_path,
+                    line=line,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=f"suppression names unknown rule code {code!r}",
+                )
+            )
+        for suppression in ctx.suppressions.suppressions:
+            if suppression.code not in RULES:
+                diagnostics.append(
+                    Diagnostic(
+                        path=ctx.display_path,
+                        line=suppression.line,
+                        col=0,
+                        code=UNUSED_SUPPRESSION,
+                        message=(
+                            f"suppression allow[{suppression.code}] names a "
+                            "rule that does not exist"
+                        ),
+                    )
+                )
+        if not report_unused:
+            continue
+        for suppression in ctx.suppressions.unused(active_codes):
+            diagnostics.append(
+                Diagnostic(
+                    path=ctx.display_path,
+                    line=suppression.line,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=(
+                        f"unused suppression: allow[{suppression.code}] "
+                        "silences nothing on this line; delete the waiver"
+                    ),
+                )
+            )
+
+    return LintResult(
+        diagnostics=sorted(set(diagnostics)),
+        files_checked=len(contexts),
+        rules_run=tuple(sorted(active_codes)),
+    )

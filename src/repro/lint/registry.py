@@ -1,0 +1,67 @@
+"""Rule base class and registry."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.context import FileContext
+    from repro.lint.symbols import ProjectSymbols
+
+
+class Rule:
+    """One named invariant.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`summary` and
+    override :meth:`check_file` (per-file AST checks) and/or
+    :meth:`check_project` (cross-module checks over the symbol table).
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def __init__(self, config: LintConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        return iter(())
+
+    def diagnostic(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.display_path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+        )
+
+
+#: code → rule class, in registration order.
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules(config: LintConfig = DEFAULT_CONFIG) -> list[Rule]:
+    """Instantiate every registered rule against one config."""
+    return [cls(config) for cls in RULES.values()]

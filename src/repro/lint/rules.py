@@ -1,0 +1,566 @@
+"""The determinism & protocol-safety rules (REP001–REP006).
+
+Every rule is a small AST check with one job; the docstrings state the
+invariant and why breaking it poisons the evaluation pipeline.  See
+``docs/static-analysis.md`` for the user-facing catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.context import FileContext
+    from repro.lint.symbols import DataclassField, DataclassInfo, ProjectSymbols
+
+_SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class WallClockRule(Rule):
+    """REP001 — the simulation owns time; the host clock must not leak in.
+
+    Simulated runs are replayed from cache keys and merged across worker
+    processes under a byte-identical contract.  A ``time.time()`` (or any
+    host-clock read) inside a consensus / chain / network path makes two
+    replays of the same key diverge.  Only ``Simulator.now`` may be read
+    in simulation-path packages; harness-side wall timing (progress
+    reporting) carries an explicit ``# repro: allow[REP001]`` waiver.
+    """
+
+    code = "REP001"
+    name = "wall-clock-read"
+    summary = "no host-clock reads in simulation-path packages"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_sim_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in self.config.wall_clock_calls:
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read {resolved}() in simulation path; "
+                    "only the simulated clock (Simulator.now) may be read",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """REP002 — randomness must flow through a seeded generator parameter.
+
+    The stdlib ``random`` module functions and the legacy
+    ``numpy.random`` module API draw from hidden process-global state:
+    any import-order or scheduling difference reorders the stream and
+    desynchronizes parallel workers from the serial baseline.  Seeded
+    construction (``numpy.random.default_rng(seed)``, ``random.Random``)
+    stays legal — the generator then travels as an explicit argument.
+    """
+
+    code = "REP002"
+    name = "unseeded-rng"
+    summary = "no global/unseeded RNG; pass a seeded generator instead"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved.startswith("random."):
+                attr = resolved.split(".", 2)[1]
+                if attr not in self.config.stdlib_random_allowed:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"global-state RNG call {resolved}(); draw from a "
+                        "seeded generator (numpy Generator / random.Random) "
+                        "passed in as a parameter",
+                    )
+            elif resolved.startswith("numpy.random."):
+                attr = resolved.split(".", 3)[2]
+                if attr not in self.config.numpy_random_allowed:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"legacy numpy.random module API {resolved}(); use a "
+                        "seeded numpy.random.default_rng(seed) generator",
+                    )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """REP003 — hash / serde / emission paths must iterate in sorted order.
+
+    Set iteration order varies with ``PYTHONHASHSEED`` and insertion
+    history; dict views reflect insertion order, which differs between a
+    fresh run and a cache replay that rebuilt the dict another way.  Any
+    such iteration that feeds hashing, serialization, or message emission
+    (recognized by function name) must go through ``sorted(...)`` so the
+    bytes — and therefore the cache keys and merge results — are canonical.
+    """
+
+    code = "REP003"
+    name = "unordered-iteration"
+    summary = "sort set/dict iteration feeding hashing, serde, or emission"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_sim_module(ctx.module):
+            return
+        pattern = re.compile(self.config.context_pattern, re.IGNORECASE)
+        seen: set[tuple[int, int]] = set()
+        for function in _functions(ctx.tree):
+            if not pattern.search(function.name):
+                continue
+            set_names = self._set_typed_names(function)
+            for node in ast.walk(function):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for candidate in iters:
+                    reason = self._unordered_reason(candidate, set_names)
+                    key = (candidate.lineno, candidate.col_offset)
+                    if reason is not None and key not in seen:
+                        seen.add(key)
+                        yield self.diagnostic(
+                            ctx,
+                            candidate.lineno,
+                            candidate.col_offset,
+                            f"iteration over {reason} inside {function.name}() "
+                            "feeds hashing/serde/emission; wrap the iterable "
+                            "in sorted(...)",
+                        )
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return False
+        target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        return name in _SET_TYPE_NAMES
+
+    def _set_typed_names(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+        args = function.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if self._is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+        for node in ast.walk(function):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if self._is_set_annotation(node.annotation):
+                    names.add(node.target.id)
+        return names
+
+    def _unordered_reason(
+        self, node: ast.expr, set_names: set[str]
+    ) -> str | None:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return f"a {func.id}() result"
+            if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEW_METHODS:
+                return f"a dict .{func.attr}() view"
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return f"set-typed variable {node.id!r}"
+        return None
+
+
+@register
+class SerdeCompletenessRule(Rule):
+    """REP004 — engine-crossing dataclasses must round-trip completely.
+
+    Results cross the process boundary and the on-disk cache as JSON; a
+    field the serializer forgets silently resets to its default on every
+    replay, and a tagged-union member missing from its dispatch registry
+    raises only when that fault kind first occurs in production.  This
+    rule cross-checks, against the project symbol table: (a) every field
+    of each anchored dataclass is covered by its designated to/from-dict
+    pair (generically via ``asdict``/``fields``, or by explicit key /
+    attribute); (b) every project dataclass referenced by an anchored
+    field's annotation is constructible somewhere in the ``*_from_dict``
+    family; (c) tagged unions and their registries stay in lock-step.
+    """
+
+    code = "REP004"
+    name = "serde-completeness"
+    summary = "engine-crossing dataclasses need registered to/from-dict pairs"
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        yield from self._check_anchors(project)
+        yield from self._check_union_registries(project)
+
+    def _check_anchors(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        from_names: set[str] = set()
+        for function in project.from_dict_family():
+            from_names |= function.referenced_names
+        for anchor in self.config.serde_anchors:
+            info = project.dataclass(anchor.dataclass_module, anchor.dataclass_name)
+            if info is None:
+                continue  # anchor module not part of this lint run
+            to_fn = project.serde_function(anchor.serde_module, anchor.to_fn)
+            from_fn = project.serde_function(anchor.serde_module, anchor.from_fn)
+            if to_fn is None or from_fn is None:
+                missing = anchor.to_fn if to_fn is None else anchor.from_fn
+                if anchor.serde_module in project.modules:
+                    yield Diagnostic(
+                        path=info.display_path,
+                        line=info.line,
+                        col=0,
+                        code=self.code,
+                        message=(
+                            f"{info.name} has no registered serde pair: "
+                            f"{anchor.serde_module}.{missing} not found"
+                        ),
+                    )
+                continue
+            for field in info.fields:
+                if field.name in anchor.exempt_fields:
+                    continue
+                for function, role in ((to_fn, "serializer"), (from_fn, "loader")):
+                    if not function.covers_field(field.name):
+                        yield Diagnostic(
+                            path=info.display_path,
+                            line=field.line,
+                            col=0,
+                            code=self.code,
+                            message=(
+                                f"{info.name}.{field.name} is not covered by "
+                                f"{role} {function.module}.{function.name}(); "
+                                "the field would be dropped or defaulted on "
+                                "an engine/cache round-trip"
+                            ),
+                        )
+                yield from self._check_field_types(
+                    project, info, field, from_names
+                )
+
+    def _check_field_types(
+        self,
+        project: "ProjectSymbols",
+        info: "DataclassInfo",
+        field: "DataclassField",
+        from_names: set[str],
+    ) -> Iterator[Diagnostic]:
+        for type_name in sorted(field.annotation_names):
+            candidates = project.dataclasses_by_name.get(type_name)
+            if not candidates or type_name == info.name:
+                continue
+            if type_name not in from_names:
+                yield Diagnostic(
+                    path=info.display_path,
+                    line=field.line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"{info.name}.{field.name} references dataclass "
+                        f"{type_name}, which no *_from_dict function "
+                        "reconstructs; register a to/from-dict pair for it"
+                    ),
+                )
+
+    def _check_union_registries(
+        self, project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        for link in self.config.union_registries:
+            union = project.unions.get(f"{link.union_module}.{link.union_name}")
+            registry = project.registries.get(
+                f"{link.registry_module}.{link.registry_name}"
+            )
+            if union is None and registry is None:
+                continue
+            if union is not None and registry is None:
+                if link.registry_module in project.modules:
+                    yield Diagnostic(
+                        path=union.display_path,
+                        line=union.line,
+                        col=0,
+                        code=self.code,
+                        message=(
+                            f"union {union.name} has no dispatch registry "
+                            f"{link.registry_module}.{link.registry_name}"
+                        ),
+                    )
+                continue
+            if registry is not None and union is None:
+                continue
+            assert union is not None and registry is not None
+            missing = [m for m in union.members if m not in registry.value_names]
+            stale = [v for v in registry.value_names if v not in union.members]
+            if missing:
+                yield Diagnostic(
+                    path=union.display_path,
+                    line=union.line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"union {union.name} member(s) {', '.join(missing)} "
+                        f"missing from registry {link.registry_name}; "
+                        "serialization would raise on first use"
+                    ),
+                )
+            if stale:
+                yield Diagnostic(
+                    path=registry.display_path,
+                    line=registry.line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"registry {link.registry_name} entries "
+                        f"{', '.join(stale)} are not members of union "
+                        f"{union.name} (stale registration)"
+                    ),
+                )
+
+
+@register
+class FrozenMessageRule(Rule):
+    """REP005 — network messages are immutable after construction.
+
+    A message delivered to several simulated nodes is the *same object*;
+    a receiver mutating it rewrites history for every other receiver and
+    for the gossip dedup layer.  Message dataclasses must be declared
+    ``frozen=True``, and code that receives a message-typed parameter
+    must never assign to its attributes (including the
+    ``object.__setattr__`` escape hatch outside ``__post_init__``).
+    """
+
+    code = "REP005"
+    name = "frozen-message"
+    summary = "message dataclasses are frozen and never mutated after receipt"
+
+    _MUTATION_EXEMPT_FUNCTIONS = frozenset({"__post_init__", "__init__", "__new__"})
+
+    def _message_classes(self, project: "ProjectSymbols") -> set[str]:
+        pattern = re.compile(self.config.message_name_pattern)
+        names: set[str] = set()
+        for info in project.dataclasses.values():
+            if info.module in self.config.message_modules or pattern.search(info.name):
+                names.add(info.name)
+        return names
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        pattern = re.compile(self.config.message_name_pattern)
+        for info in project.dataclasses.values():
+            is_message = (
+                info.module in self.config.message_modules
+                or pattern.search(info.name) is not None
+            )
+            if is_message and not info.frozen:
+                # Anchor on the @dataclass decorator: that is where the
+                # frozen=True fix (and any waiver) belongs.
+                yield Diagnostic(
+                    path=info.display_path,
+                    line=info.decorator_line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"message dataclass {info.name} must be declared "
+                        "@dataclass(frozen=True); a mutable message rewrites "
+                        "history for every node holding a reference"
+                    ),
+                )
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_sim_module(ctx.module):
+            return
+        message_classes = self._message_classes(project)
+        if not message_classes:
+            return
+        for function in _functions(ctx.tree):
+            if function.name in self._MUTATION_EXEMPT_FUNCTIONS:
+                continue
+            typed = self._message_params(function, message_classes)
+            if not typed:
+                continue
+            yield from self._check_mutations(ctx, function, typed)
+
+    @staticmethod
+    def _annotation_name(annotation: ast.expr | None) -> set[str]:
+        if annotation is None:
+            return set()
+        names: set[str] = set()
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+        return names
+
+    def _message_params(
+        self,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        message_classes: set[str],
+    ) -> set[str]:
+        typed: set[str] = set()
+        args = function.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if self._annotation_name(arg.annotation) & message_classes:
+                typed.add(arg.arg)
+        for node in ast.walk(function):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if self._annotation_name(node.annotation) & message_classes:
+                    typed.add(node.target.id)
+        return typed
+
+    def _check_mutations(
+        self,
+        ctx: "FileContext",
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        typed: set[str],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(function):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in typed
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"object.__setattr__ on message parameter "
+                        f"{node.args[0].id!r} in {function.name}(); messages "
+                        "are immutable after receipt",
+                    )
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in typed
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        target.lineno,
+                        target.col_offset,
+                        f"mutation of received message field "
+                        f"{target.value.id}.{target.attr} in "
+                        f"{function.name}(); copy via dataclasses.replace() "
+                        "instead",
+                    )
+
+
+@register
+class ProcessBoundaryRule(Rule):
+    """REP006 — no pickle across the engine boundary, no ambient environ.
+
+    Engine workers exchange JSON, never pickles: a pickle accepts
+    arbitrary code on load and silently couples the cache format to
+    interpreter internals.  ``os.environ`` is ambient, unrecorded input —
+    a result computed under one environment replays under another — so
+    reads are confined to the sanctioned config gateway
+    (``repro.node.config``) and the benchmark conftest, where they are
+    documented as harness-level, never physics-level, knobs.
+    """
+
+    code = "REP006"
+    name = "process-boundary"
+    summary = "no pickle in repro modules; environ reads only via the gateway"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if self.config.is_repro_module(ctx.module):
+            yield from self._check_pickle(ctx)
+        if ctx.module not in self.config.environ_allowed_modules:
+            yield from self._check_environ(ctx)
+
+    def _check_pickle(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                names = [node.module]
+            for name in names:
+                root = name.split(".")[0]
+                if root in self.config.pickle_modules:
+                    yield self.diagnostic(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"import of {root!r} in a repro module; the engine's "
+                        "process boundary speaks JSON only "
+                        "(repro.sim.reporting round-trip)",
+                    )
+
+    def _check_environ(self, ctx: "FileContext") -> Iterator[Diagnostic]:
+        flagged_lines: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            resolved = ctx.resolve(node)
+            if resolved is None:
+                continue
+            is_environ = (
+                resolved in {"os.environ", "os.environb", "os.getenv"}
+                or resolved.startswith("os.environ.")
+                or resolved.startswith("os.environb.")
+            )
+            if is_environ and node.lineno not in flagged_lines:
+                flagged_lines.add(node.lineno)
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "os.environ read outside the config gateway; route it "
+                    "through repro.node.config so ambient state never "
+                    "reaches cached physics",
+                )

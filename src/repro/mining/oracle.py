@@ -69,7 +69,7 @@ def network_block_rate(
     if len(hash_rates) != len(difficulties):
         raise SimulationError("hash_rates and difficulties must align")
     return sum(
-        oracle.solve_rate(h, d) for h, d in zip(hash_rates, difficulties)
+        oracle.solve_rate(h, d) for h, d in zip(hash_rates, difficulties, strict=True)
     )
 
 
@@ -86,7 +86,7 @@ def win_probabilities(
     *Unpredictability* (Eq. 2).
     """
     rates = np.array(
-        [oracle.solve_rate(h, d) for h, d in zip(hash_rates, difficulties)],
+        [oracle.solve_rate(h, d) for h, d in zip(hash_rates, difficulties, strict=True)],
         dtype=float,
     )
     return rates / rates.sum()

@@ -1,11 +1,29 @@
-"""Full-node configuration."""
+"""Full-node configuration, and the process-environment gateway.
+
+Environment variables are ambient, unrecorded input: a cached result
+computed under one environment silently replays under another.  The
+``repro.lint`` REP006 rule therefore confines ``os.environ`` reads to
+this module (and the benchmark conftest) — every other module must call
+:func:`env_setting` so each knob is named, documented, and greppable.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.difficulty import DifficultyParams
 from repro.core.themis import RuleKind
+
+
+def env_setting(name: str, default: str | None = None) -> str | None:
+    """Read one environment variable via the sanctioned gateway (REP006).
+
+    Harness-level knobs only (cache locations, CI overrides, worker
+    counts) — never anything that feeds simulated physics, which must
+    travel inside the frozen, cache-keyed experiment config instead.
+    """
+    return os.environ.get(name, default)
 
 
 @dataclass(frozen=True)

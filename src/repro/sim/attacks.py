@@ -22,6 +22,7 @@ Three attacker behaviours from the paper's evaluation and analysis:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -107,7 +108,7 @@ class SelfishMiner(MiningNode):
     honest subtree carries more observed weight (Fig. 2).
     """
 
-    def __init__(self, *args, release_lead: int = 1, **kwargs) -> None:
+    def __init__(self, *args: Any, release_lead: int = 1, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.release_lead = release_lead
         self._withheld: list[Block] = []
@@ -179,7 +180,9 @@ class SandbaggingMiner(MiningNode):
     history, not a constant).
     """
 
-    def __init__(self, *args, idle_epochs: int = 1, active_epochs: int = 1, **kwargs):
+    def __init__(
+        self, *args: Any, idle_epochs: int = 1, active_epochs: int = 1, **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         if idle_epochs < 1 or active_epochs < 1:
             raise SimulationError("duty cycle phases must be >= 1 epoch")

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+from repro.node.config import env_setting
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner types)
     from repro.sim.runner import ExperimentConfig, RunResult
@@ -53,7 +54,7 @@ def code_version() -> str:
     new cache keys.  ``REPRO_CODE_VERSION`` overrides the walk entirely.
     """
     global _code_version_cache
-    override = os.environ.get("REPRO_CODE_VERSION")
+    override = env_setting("REPRO_CODE_VERSION")
     if override:
         return override
     if _code_version_cache is None:
@@ -75,10 +76,10 @@ def canonical_json(payload: Any) -> str:
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or a per-user cache directory."""
-    override = os.environ.get("REPRO_CACHE_DIR")
+    override = env_setting("REPRO_CACHE_DIR")
     if override:
         return Path(override)
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = env_setting("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro-experiments"
 

@@ -42,11 +42,16 @@ from collections import defaultdict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.sim.cache import ResultCache
 from repro.sim.runner import ExperimentConfig, RunResult, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios use engine)
+    from repro.sim.scenarios import ScenarioSpec
 
 
 class EngineError(SimulationError):
@@ -208,7 +213,7 @@ class ExperimentEngine:
         :class:`EngineError` once the rest of the batch has finished
         (``allow_failures=True`` yields ``None`` entries instead).
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow[REP001] harness wall timing
         report = EngineReport(tasks=len(configs), jobs=self.jobs)
         results: list[RunResult | None] = [None] * len(configs)
 
@@ -240,7 +245,7 @@ class ExperimentEngine:
             else:
                 self._run_pool(pending, positions, results, report)
 
-        report.wall_seconds = time.perf_counter() - started
+        report.wall_seconds = time.perf_counter() - started  # repro: allow[REP001]
         self.last_report = report
         if report.failures and not self.allow_failures:
             detail = "; ".join(f.describe() for f in report.failures)
@@ -251,7 +256,7 @@ class ExperimentEngine:
         return results
 
     def run_spec(
-        self, spec, seeds: Iterable[int] | None = None
+        self, spec: ScenarioSpec, seeds: Iterable[int] | None = None
     ) -> list[RunResult | None]:
         """Run every config of a :class:`~repro.sim.scenarios.ScenarioSpec`."""
         return self.run_many(list(spec.configs(seeds=seeds)))
@@ -307,7 +312,7 @@ class ExperimentEngine:
             attempts = 0
             while True:
                 attempts += 1
-                task_started = time.perf_counter()
+                task_started = time.perf_counter()  # repro: allow[REP001]
                 try:
                     result = run_experiment(cfg)
                 except Exception as exc:
@@ -327,7 +332,7 @@ class ExperimentEngine:
                 self._emit(
                     report,
                     done,
-                    f"{self._label(cfg)} {time.perf_counter() - task_started:.1f}s",
+                    f"{self._label(cfg)} {time.perf_counter() - task_started:.1f}s",  # repro: allow[REP001]
                 )
                 break
 

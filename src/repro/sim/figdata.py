@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import SimulationError
 
@@ -73,7 +73,7 @@ class FigureData:
         return data
 
 
-def _maybe_number(text: str):
+def _maybe_number(text: str) -> float | int | str:
     try:
         value = float(text)
     except ValueError:

@@ -9,7 +9,7 @@ stop conditions on top.)
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.chain.genesis import make_genesis
 from repro.consensus.base import RunContext

@@ -17,7 +17,8 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.chaos.faults import FaultEvent
 from repro.chaos.invariants import InvariantReport

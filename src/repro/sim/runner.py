@@ -17,7 +17,8 @@ All four §VII-B algorithms are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal, Sequence
+from collections.abc import Sequence
+from typing import Literal
 
 from repro.chain.genesis import make_genesis
 from repro.chaos.faults import ChaosController, FaultEvent
@@ -154,8 +155,10 @@ class RunResult:
     fork: ForkReport | None
     network: NetworkStats
     members: list[bytes] = field(default_factory=list)
-    observer: MiningNode | None = None
-    pbft: PBFTCluster | None = None
+    # Live simulator handles: in-process only, never serialized (see
+    # repro.sim.reporting module docstring).
+    observer: MiningNode | None = None  # repro: allow[REP004] live handle
+    pbft: PBFTCluster | None = None  # repro: allow[REP004] live handle
     view_changes: int = 0
     chaos: ChaosReport | None = None
     invariants: InvariantReport | None = None
@@ -175,7 +178,7 @@ def _build_topology(cfg: ExperimentConfig) -> dict[int, list[int]]:
     return random_regular_topology(cfg.n, degree, seed=cfg.seed)
 
 
-def _build_context(cfg: ExperimentConfig):
+def _build_context(cfg: ExperimentConfig) -> RunContext:
     from repro.crypto.keys import KeyPair
 
     sim = Simulator(seed=cfg.seed)
@@ -408,7 +411,7 @@ class ChaosSuiteResult:
             f"sigma_f2={stable_value(self.baseline.equality, robust=True):.3f}"
         ]
         for index, (run, tps_ratio, eq_ratio) in enumerate(
-            zip(self.chaos_runs, self.tps_ratios(), self.equality_ratios())
+            zip(self.chaos_runs, self.tps_ratios(), self.equality_ratios(), strict=True)
         ):
             chaos = run.chaos.summary() if run.chaos else "no faults applied"
             lines.append(

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from repro.errors import SimulationError
 

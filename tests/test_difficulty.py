@@ -132,10 +132,10 @@ class TestEq6Multiples:
         table = DifficultyTable(
             epoch=0, base=1.0, multiples={x: previous_multiple for x in m}
         )
-        block_counts = dict(zip(m, counts))
+        block_counts = dict(zip(m, counts, strict=True))
         updated = next_multiples(table, block_counts, m, delta)
         n = len(m)
-        for x, q in zip(m, counts):
+        for x, q in zip(m, counts, strict=True):
             expected = max(n * q / delta * previous_multiple, 1.0)
             assert updated[x] == pytest.approx(expected)
 
@@ -150,12 +150,12 @@ class TestEq6Multiples:
         delta = 32
         multiples = {x: 1.0 for x in m}
         for _ in range(30):
-            rates = [p / multiples[x] for p, x in zip(powers, m)]
+            rates = [p / multiples[x] for p, x in zip(powers, m, strict=True)]
             total = sum(rates)
-            counts = {x: delta * r / total for r, x in zip(rates, m)}
+            counts = {x: delta * r / total for r, x in zip(rates, m, strict=True)}
             table = DifficultyTable(epoch=0, base=1.0, multiples=multiples)
             multiples = next_multiples(table, counts, m, delta)
-        shares = [p / multiples[x] for p, x in zip(powers, m)]
+        shares = [p / multiples[x] for p, x in zip(powers, m, strict=True)]
         total = sum(shares)
         for share in shares:
             assert share / total == pytest.approx(0.25, rel=0.01)

@@ -30,7 +30,7 @@ class TestEpochReports:
         delta = themis_run.epoch_blocks
         for r in reports:
             assert r.end_height - r.start_height + 1 == delta
-        for prev, cur in zip(reports, reports[1:]):
+        for prev, cur in zip(reports, reports[1:], strict=False):
             assert cur.start_height == prev.end_height + 1
 
     def test_epoch0_multiples_are_one(self, themis_run):
@@ -45,7 +45,7 @@ class TestEpochReports:
 
     def test_sigma_matches_run_series(self, themis_run):
         reports = epoch_reports(themis_run.observer.state, themis_run.members)
-        for report, expected in zip(reports, themis_run.equality):
+        for report, expected in zip(reports, themis_run.equality, strict=True):
             assert report.sigma_f2 == pytest.approx(expected)
 
     def test_requires_complete_epoch(self, genesis):

@@ -60,7 +60,7 @@ class TestFrequencyVector:
     @given(st.lists(st.integers(min_value=0, max_value=50), min_size=2, max_size=8))
     def test_variance_matches_numpy(self, quantities):
         m = members(len(quantities))
-        counts = {addr: q for addr, q in zip(m, quantities) if q}
+        counts = {addr: q for addr, q in zip(m, quantities, strict=True) if q}
         total = sum(quantities)
         expected = float(np.var([q / total for q in quantities])) if total else float(
             np.var(quantities)

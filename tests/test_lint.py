@@ -1,0 +1,907 @@
+"""Fixture-based tests for the ``repro.lint`` static-analysis suite.
+
+Every rule gets four cases: a flagged bad snippet, a clean good snippet,
+a suppressed snippet, and an unused-suppression case.  Fixture trees
+mirror the real layout (``src/repro/<pkg>/...``) so module-based scoping
+behaves exactly as it does on the live tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    RULES,
+    SerdeAnchor,
+    UnionRegistry,
+    lint_paths,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.context import module_name_for
+from repro.lint.diagnostics import PARSE_ERROR, UNUSED_SUPPRESSION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_lint(tmp_path: Path, files: dict[str, str], **kwargs):
+    """Write a fixture tree and lint it, returning the LintResult."""
+    for rel, content in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+    return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+def codes(result) -> list[str]:
+    return [d.code for d in result.diagnostics]
+
+
+# -- module classification ---------------------------------------------------------
+
+
+def test_module_name_for_layouts():
+    assert module_name_for(Path("src/repro/net/message.py")) == "repro.net.message"
+    assert module_name_for(Path("src/repro/net/__init__.py")) == "repro.net"
+    assert module_name_for(Path("tests/test_lint.py")) == "tests.test_lint"
+    assert module_name_for(Path("benchmarks/conftest.py")) == "benchmarks.conftest"
+    assert module_name_for(Path("scratch/tool.py")) == "tool"
+
+
+# -- REP001 wall clock -------------------------------------------------------------
+
+_WALL_CLOCK_BAD = """
+    import time
+
+    def step():
+        return time.time()
+"""
+
+
+def test_rep001_flags_wall_clock_in_sim_package(tmp_path):
+    result = run_lint(tmp_path, {"src/repro/net/clocky.py": _WALL_CLOCK_BAD})
+    assert codes(result) == ["REP001"]
+    assert "time.time" in result.diagnostics[0].message
+
+
+def test_rep001_aliased_import_and_from_import(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chain/a.py": """
+                from time import perf_counter as pc
+
+                def measure():
+                    return pc()
+            """,
+            "src/repro/chaos/b.py": """
+                import datetime
+
+                def stamp():
+                    return datetime.datetime.now()
+            """,
+        },
+    )
+    assert codes(result) == ["REP001", "REP001"]
+
+
+def test_rep001_clean_outside_sim_packages(tmp_path):
+    result = run_lint(tmp_path, {"src/repro/analysis/clocky.py": _WALL_CLOCK_BAD})
+    assert result.ok
+
+
+def test_rep001_simulated_clock_is_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/clean.py": """
+                def step(sim):
+                    return sim.now + 1.0
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep001_suppressed(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/waived.py": """
+                import time
+
+                def step():
+                    return time.time()  # repro: allow[REP001]
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep001_unused_suppression_reported(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/stale.py": """
+                def step(sim):
+                    return sim.now  # repro: allow[REP001]
+            """
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+    assert "unused suppression" in result.diagnostics[0].message
+
+
+# -- REP002 unseeded RNG -----------------------------------------------------------
+
+
+def test_rep002_flags_stdlib_random(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/mining/rngy.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+            """
+        },
+    )
+    assert codes(result) == ["REP002"]
+
+
+def test_rep002_flags_numpy_legacy_api(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/legacy.py": """
+                import numpy as np
+
+                def noise():
+                    np.random.seed(0)
+                    return np.random.rand(3)
+            """
+        },
+    )
+    assert codes(result) == ["REP002", "REP002"]
+
+
+def test_rep002_seeded_generators_are_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/seeded.py": """
+                import random
+
+                import numpy as np
+
+                def make(seed: int):
+                    return np.random.default_rng(seed), random.Random(seed)
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep002_suppressed_and_unused(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/waived.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)  # repro: allow[REP002]
+            """,
+            "src/repro/sim/stale.py": """
+                def pick(items):
+                    return items[0]  # repro: allow[REP002]
+            """,
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+
+
+# -- REP003 unordered iteration ----------------------------------------------------
+
+
+def test_rep003_flags_set_iteration_in_hash_context(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chain/hashy.py": """
+                def hash_members(members: set[bytes]) -> bytes:
+                    out = b""
+                    for member in members:
+                        out += member
+                    return out
+            """
+        },
+    )
+    assert codes(result) == ["REP003"]
+    assert "set-typed variable" in result.diagnostics[0].message
+
+
+def test_rep003_flags_dict_view_in_serde_context(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/serde.py": """
+                def thing_to_dict(counts: dict) -> dict:
+                    return {k: v for k, v in counts.items()}
+            """
+        },
+    )
+    assert codes(result) == ["REP003"]
+    assert ".items()" in result.diagnostics[0].message
+
+
+def test_rep003_sorted_iteration_is_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chain/sortedhash.py": """
+                def hash_members(members: set[bytes]) -> bytes:
+                    out = b""
+                    for member in sorted(members):
+                        out += member
+                    return out
+
+                def thing_to_dict(counts: dict) -> dict:
+                    return {k: v for k, v in sorted(counts.items())}
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep003_only_applies_in_context_functions(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chain/plain.py": """
+                def count_all(counts: dict) -> int:
+                    return sum(v for v in counts.values())
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep003_suppressed_and_unused(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chain/waived.py": """
+                def serialize(seen: set[int]) -> str:
+                    return ",".join(str(s) for s in seen)  # repro: allow[REP003]
+            """,
+            "src/repro/chain/stale.py": """
+                def serialize(seen: list[int]) -> str:
+                    return ",".join(str(s) for s in seen)  # repro: allow[REP003]
+            """,
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+
+
+# -- REP004 serde completeness -----------------------------------------------------
+
+_ANCHOR_CONFIG = LintConfig(
+    serde_anchors=(
+        SerdeAnchor(
+            dataclass_module="repro.sim.runner",
+            dataclass_name="RunResult",
+            serde_module="repro.sim.reporting",
+            to_fn="result_to_dict",
+            from_fn="result_from_dict",
+        ),
+    ),
+    union_registries=DEFAULT_CONFIG.union_registries,
+)
+
+_RUNNER_FIXTURE = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class RunResult:
+        tps: float
+        latency: float
+"""
+
+
+def test_rep004_flags_field_missing_from_serializer(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/runner.py": _RUNNER_FIXTURE,
+            "src/repro/sim/reporting.py": """
+                def result_to_dict(result):
+                    return {"tps": result.tps}
+
+                def result_from_dict(record):
+                    return dict(tps=record["tps"], latency=record["latency"])
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert codes(result) == ["REP004"]
+    assert "RunResult.latency" in result.diagnostics[0].message
+    assert "serializer" in result.diagnostics[0].message
+
+
+def test_rep004_flags_missing_loader_function(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/runner.py": _RUNNER_FIXTURE,
+            "src/repro/sim/reporting.py": """
+                def result_to_dict(result):
+                    return {"tps": result.tps, "latency": result.latency}
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert codes(result) == ["REP004"]
+    assert "result_from_dict not found" in result.diagnostics[0].message
+
+
+def test_rep004_generic_asdict_covers_all_fields(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/runner.py": _RUNNER_FIXTURE,
+            "src/repro/sim/reporting.py": """
+                from dataclasses import asdict
+
+                def result_to_dict(result):
+                    return asdict(result)
+
+                def result_from_dict(record):
+                    from repro.sim.runner import RunResult
+                    return RunResult(**{f: record[f] for f in RunResult.__dataclass_fields__})
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert result.ok
+
+
+def test_rep004_flags_unregistered_nested_dataclass(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/runner.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class ForkStats:
+                    rate: float
+
+                @dataclass
+                class RunResult:
+                    tps: float
+                    fork: ForkStats | None
+            """,
+            "src/repro/sim/reporting.py": """
+                from dataclasses import asdict
+
+                def result_to_dict(result):
+                    return asdict(result)
+
+                def result_from_dict(record):
+                    return dict(tps=record["tps"], fork=record["fork"])
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert codes(result) == ["REP004"]
+    assert "ForkStats" in result.diagnostics[0].message
+
+
+def test_rep004_union_member_missing_from_registry(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chaos/faults.py": """
+                from typing import Union
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CrashFault:
+                    node: int
+
+                @dataclass(frozen=True)
+                class LinkFault:
+                    loss: float
+
+                FaultSpec = Union[CrashFault, LinkFault]
+            """,
+            "src/repro/chaos/schedule.py": """
+                from repro.chaos.faults import CrashFault
+
+                _FAULT_KINDS = {"crash": CrashFault}
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert codes(result) == ["REP004"]
+    assert "LinkFault" in result.diagnostics[0].message
+
+
+def test_rep004_stale_registry_entry(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/chaos/faults.py": """
+                from typing import Union
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class CrashFault:
+                    node: int
+
+                @dataclass(frozen=True)
+                class LinkFault:
+                    loss: float
+
+                FaultSpec = Union[CrashFault, LinkFault]
+            """,
+            "src/repro/chaos/schedule.py": """
+                from repro.chaos.faults import CrashFault, LinkFault
+
+                class RetiredFault:
+                    pass
+
+                _FAULT_KINDS = {
+                    "crash": CrashFault,
+                    "link": LinkFault,
+                    "retired": RetiredFault,
+                }
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert codes(result) == ["REP004"]
+    assert "stale" in result.diagnostics[0].message
+
+
+def test_rep004_suppressed_and_unused(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/runner.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class RunResult:
+                    tps: float
+                    live: object = None  # repro: allow[REP004]
+            """,
+            "src/repro/sim/reporting.py": """
+                def result_to_dict(result):
+                    return {"tps": result.tps}
+
+                def result_from_dict(record):
+                    return dict(tps=record["tps"])
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert result.ok  # the live-handle field is waived; everything else round-trips
+
+    stale = run_lint(
+        tmp_path / "stale",
+        {
+            "src/repro/sim/runner.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class RunResult:
+                    tps: float  # repro: allow[REP004]
+            """,
+            "src/repro/sim/reporting.py": """
+                def result_to_dict(result):
+                    return {"tps": result.tps}
+
+                def result_from_dict(record):
+                    return dict(tps=record["tps"])
+            """,
+        },
+        config=_ANCHOR_CONFIG,
+    )
+    assert [d.code for d in stale.diagnostics] == [UNUSED_SUPPRESSION]
+
+
+# -- REP005 frozen messages --------------------------------------------------------
+
+
+def test_rep005_flags_unfrozen_message_dataclass(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/protocol.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class PingMessage:
+                    seq: int
+            """
+        },
+    )
+    assert codes(result) == ["REP005"]
+    assert "frozen=True" in result.diagnostics[0].message
+
+
+def test_rep005_flags_mutation_of_received_message(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/protocol.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class PingMessage:
+                    seq: int
+
+                def handle(msg: PingMessage) -> None:
+                    msg.seq = 99
+            """
+        },
+    )
+    assert codes(result) == ["REP005"]
+    assert "mutation" in result.diagnostics[0].message
+
+
+def test_rep005_flags_setattr_escape_hatch(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/protocol.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class PingMessage:
+                    seq: int
+
+                def handle(msg: PingMessage) -> None:
+                    object.__setattr__(msg, "seq", 99)
+            """
+        },
+    )
+    assert codes(result) == ["REP005"]
+    assert "__setattr__" in result.diagnostics[0].message
+
+
+def test_rep005_frozen_message_and_replace_are_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/protocol.py": """
+                from dataclasses import dataclass, replace
+
+                @dataclass(frozen=True)
+                class PingMessage:
+                    seq: int
+
+                def handle(msg: PingMessage) -> PingMessage:
+                    return replace(msg, seq=msg.seq + 1)
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_rep005_suppressed_and_unused(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/waived.py": """
+                from dataclasses import dataclass
+
+                @dataclass  # repro: allow[REP005]
+                class LegacyMessage:
+                    seq: int
+            """,
+            "src/repro/net/stale.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)  # repro: allow[REP005]
+                class FineMessage:
+                    seq: int
+            """,
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+
+
+# -- REP006 process boundary -------------------------------------------------------
+
+
+def test_rep006_flags_pickle_import(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/boundary.py": """
+                import pickle
+
+                def ship(obj) -> bytes:
+                    return pickle.dumps(obj)
+            """
+        },
+    )
+    assert codes(result) == ["REP006"]
+    assert "pickle" in result.diagnostics[0].message
+
+
+def test_rep006_flags_environ_outside_gateway(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/knobs.py": """
+                import os
+
+                def jobs() -> int:
+                    return int(os.environ.get("JOBS", "1"))
+            """,
+            "src/repro/chain/getenv.py": """
+                from os import getenv
+
+                def flag() -> str | None:
+                    return getenv("FLAG")
+            """,
+        },
+    )
+    assert codes(result) == ["REP006", "REP006"]
+
+
+def test_rep006_gateway_modules_are_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/node/config.py": """
+                import os
+
+                def env_setting(name: str):
+                    return os.environ.get(name)
+            """,
+            "benchmarks/conftest.py": """
+                import os
+
+                JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+            """,
+        },
+    )
+    assert result.ok
+
+
+def test_rep006_suppressed_and_unused(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/sim/waived.py": """
+                import os
+
+                def jobs() -> int:
+                    return int(os.environ.get("JOBS", "1"))  # repro: allow[REP006]
+            """,
+            "src/repro/sim/stale.py": """
+                def jobs() -> int:
+                    return 1  # repro: allow[REP006]
+            """,
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+
+
+# -- suppression machinery ---------------------------------------------------------
+
+
+def test_multiple_codes_in_one_directive(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/multi.py": """
+                import time, os
+
+                def f():
+                    return time.time(), os.environ.get("X")  # repro: allow[REP001,REP006]
+            """
+        },
+    )
+    assert result.ok
+
+
+def test_unknown_rule_code_in_suppression(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/odd.py": """
+                x = 1  # repro: allow[REP123]
+            """
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+    assert "does not exist" in result.diagnostics[0].message
+
+
+def test_malformed_suppression_code(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/odd.py": """
+                x = 1  # repro: allow[bogus]
+            """
+        },
+    )
+    assert codes(result) == [UNUSED_SUPPRESSION]
+    assert "unknown rule code" in result.diagnostics[0].message
+
+
+def test_no_unused_report_when_disabled(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/stale.py": """
+                def step(sim):
+                    return sim.now  # repro: allow[REP001]
+            """
+        },
+        report_unused=False,
+    )
+    assert result.ok
+
+
+def test_suppression_for_unselected_rule_is_not_unused(tmp_path):
+    # Running only REP006 must not report a REP001 waiver as stale.
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/net/waived.py": """
+                import time
+
+                def step():
+                    return time.time()  # repro: allow[REP001]
+            """
+        },
+        select=["REP006"],
+    )
+    assert result.ok
+
+
+# -- engine / meta -----------------------------------------------------------------
+
+
+def test_parse_error_reported_not_raised(tmp_path):
+    result = run_lint(tmp_path, {"src/repro/net/broken.py": "def f(:\n    pass\n"})
+    assert codes(result) == [PARSE_ERROR]
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    files = {
+        "src/repro/net/both.py": """
+            import time, pickle
+
+            def f():
+                return time.time()
+        """
+    }
+    only_clock = run_lint(tmp_path / "a", files, select=["REP001"])
+    assert codes(only_clock) == ["REP001"]
+    no_clock = run_lint(tmp_path / "b", files, ignore=["REP001"])
+    assert codes(no_clock) == ["REP006"]
+
+
+def test_unknown_select_code_raises(tmp_path):
+    with pytest.raises(ValueError, match="REP999"):
+        run_lint(tmp_path, {"src/repro/net/x.py": "x = 1\n"}, select=["REP999"])
+
+
+def test_output_is_deterministic(tmp_path):
+    files = {
+        "src/repro/net/a.py": _WALL_CLOCK_BAD,
+        "src/repro/sim/b.py": """
+            import pickle
+            import random
+
+            def f(items):
+                return random.choice(items)
+        """,
+    }
+    first = run_lint(tmp_path, files)
+    second = lint_paths([tmp_path], root=tmp_path)
+    assert [d.text() for d in first.diagnostics] == [
+        d.text() for d in second.diagnostics
+    ]
+    # Sorted by (path, line, col): pickle import on line 1 precedes random.
+    assert codes(first) == ["REP001", "REP006", "REP002"]
+
+
+def test_every_rule_has_fixture_coverage():
+    # The four-case contract above must cover the full registry: adding a
+    # rule without fixtures should fail here, not silently ship.
+    assert set(RULES) == {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"}
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def _write_bad_tree(tmp_path: Path) -> Path:
+    target = tmp_path / "src" / "repro" / "net"
+    target.mkdir(parents=True)
+    (target / "bad.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n"
+    )
+    return tmp_path
+
+
+def test_cli_text_format_and_exit_code(tmp_path, capsys, monkeypatch):
+    _write_bad_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out and "found 1 issue(s)" in out
+
+
+def test_cli_json_format(tmp_path, capsys, monkeypatch):
+    _write_bad_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts_by_code"] == {"REP001": 1}
+    assert payload["findings"][0]["code"] == "REP001"
+
+
+def test_cli_github_format(tmp_path, capsys, monkeypatch):
+    _write_bad_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "title=REP001" in out
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "src" / "repro" / "net"
+    target.mkdir(parents=True)
+    (target / "fine.py").write_text("def f(sim):\n    return sim.now\n")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_bad_rule_code_is_usage_error(tmp_path, capsys, monkeypatch):
+    _write_bad_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--select", "NOPE"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_cli_select_filters(tmp_path, capsys, monkeypatch):
+    _write_bad_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--select", "REP006"]) == 0
+
+
+# -- the live tree -----------------------------------------------------------------
+
+
+def test_repo_tree_is_clean():
+    """The shipped tree must stay lint-clean (the CI gate, as a test)."""
+    result = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+    )
+    assert result.ok, "\n".join(d.text() for d in result.diagnostics)

@@ -38,7 +38,10 @@ def _random_tree(parent_choices: list[int], producers: list[int]):
     genesis = make_genesis()
     tree = BlockTree(genesis, finality_window=None)
     blocks = [genesis]
-    for i, (choice, producer) in enumerate(zip(parent_choices, producers)):
+    # Lists are drawn with independent lengths; zip truncates by design.
+    for i, (choice, producer) in enumerate(
+        zip(parent_choices, producers, strict=False)
+    ):
         parent = blocks[choice % len(blocks)]
         block = build_block(
             keypair(producer % 6),
