@@ -31,7 +31,7 @@ from repro.node.node import FullNode
 def main() -> None:
     n = 4
     sim = Simulator(seed=7)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=0.01))
     params = DifficultyParams(i0=4.0, h0=1.0, beta=2.0)
     keys = [KeyPair.from_seed(f"org-{i}") for i in range(n)]
     newcomer = KeyPair.from_seed("org-new")

@@ -31,7 +31,7 @@ def main() -> None:
 
     # -- substrate: simulator, network, identities ---------------------------
     sim = Simulator(seed=2022)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=0.01))
     params = DifficultyParams(t0=EASY_T0, i0=3.0, h0=1.0, beta=2.0)
     keys = [KeyPair.from_seed(f"quickstart-{i}") for i in range(n)]
     ctx = RunContext(

@@ -28,11 +28,11 @@ from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING, Any, Union
 
 from repro.errors import SimulationError
-from repro.net.network import LinkDisturbance, SimulatedNetwork
+from repro.net.transport import FaultableTransport, LinkDisturbance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.consensus.powfamily import MiningNode
-    from repro.net.simulator import Simulator
+    from repro.net.clock import Clock
     from repro.sim.tracing import Tracer
 
 
@@ -186,8 +186,8 @@ class ChaosController:
     def __init__(
         self,
         nodes: Sequence["MiningNode"],
-        network: SimulatedNetwork,
-        sim: "Simulator",
+        network: FaultableTransport,
+        sim: "Clock",
         tracer: "Tracer | None" = None,
     ) -> None:
         self.nodes: dict[int, "MiningNode"] = {node.node_id: node for node in nodes}

@@ -43,11 +43,11 @@ from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
 from repro.errors import ReproError, SimulationError
-from repro.net.network import SimulatedNetwork
+from repro.net.transport import FaultableTransport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.consensus.powfamily import MiningNode
-    from repro.net.simulator import EventHandle, Simulator
+    from repro.net.clock import Clock, TimerHandle
 
 
 class InvariantViolation(SimulationError):
@@ -130,8 +130,8 @@ class InvariantMonitor:
     def __init__(
         self,
         nodes: Sequence["MiningNode"],
-        network: SimulatedNetwork,
-        sim: "Simulator",
+        network: FaultableTransport,
+        sim: "Clock",
         config: InvariantConfig | None = None,
         power_fn: Callable[["MiningNode"], float] | None = None,
         exclude: Sequence[int] = (),
@@ -143,7 +143,7 @@ class InvariantMonitor:
         self.config = config or InvariantConfig()
         self.power_fn = power_fn or (lambda node: node.config.hash_rate)
         self.report = InvariantReport()
-        self._handle: "EventHandle | None" = None
+        self._handle: "TimerHandle | None" = None
         self._last_partition_map: dict[int, int] | None = None
         self._partition_changed_at = -float("inf")
         self._running = False

@@ -9,7 +9,11 @@ Commands:
 * ``figure`` — regenerate a paper figure's data series at a chosen scale;
 * ``compare`` — run all four algorithms side by side at one configuration;
 * ``lint`` — the determinism & protocol-safety static analysis suite
-  (forwards to :mod:`repro.lint`; see ``docs/static-analysis.md``).
+  (forwards to :mod:`repro.lint`; see ``docs/static-analysis.md``);
+* ``run-node`` — one live consortium node process over TCP (driven by a
+  manifest file; see ``docs/transport.md``);
+* ``localnet`` — an N-node localhost cluster: spawns ``run-node``
+  processes, drives a workload, reports convergence and wall-clock TPS.
 
 Examples::
 
@@ -17,6 +21,7 @@ Examples::
     python -m repro sweep -a themis -n 24 --epochs 4 --seeds 8 --jobs 4
     python -m repro figure fig4 --nodes 30 --epochs 10 --jobs 3
     python -m repro compare --nodes 24 --epochs 4 --jobs 4
+    python -m repro localnet --nodes 4 --height 5
 
 ``--jobs 0`` uses every core.  ``sweep`` caches by default (under
 ``$REPRO_CACHE_DIR`` or the user cache directory) so replays are instant;
@@ -247,6 +252,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.rest)
 
 
+def _cmd_run_node(args: argparse.Namespace) -> int:
+    from repro.live.node_runner import main as node_main
+
+    return node_main(
+        manifest_path=args.manifest,
+        node_id=args.node_id,
+        status_path=args.status,
+        tx_rate=args.tx_rate,
+        duration=args.duration,
+    )
+
+
+def _cmd_localnet(args: argparse.Namespace) -> int:
+    from repro.live.localnet import LocalnetConfig, run_localnet
+
+    config = LocalnetConfig(
+        nodes=args.nodes,
+        target_height=args.height,
+        deadline=args.deadline,
+        tx_rate=args.tx_rate,
+        i0=args.i0,
+        seed=args.seed,
+        workdir=args.workdir,
+        sign_blocks=args.sign,
+        verify_signatures=args.sign,
+    )
+    report = run_localnet(config)
+    print(report.summary())
+    for node_id, height in sorted(report.node_heights.items()):
+        print(f"  node {node_id}: height {height}")
+    if not report.clean_shutdown:
+        print("warning: some nodes needed SIGKILL during teardown", file=sys.stderr)
+    return 0 if report.converged else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Themis (ICDCS 2022) reproduction toolkit"
@@ -297,6 +337,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument("rest", nargs=argparse.REMAINDER)
     lint_parser.set_defaults(func=_cmd_lint)
+
+    node_parser = sub.add_parser(
+        "run-node", help="run one live consortium node from a manifest"
+    )
+    node_parser.add_argument(
+        "--manifest", required=True, help="consortium manifest JSON path"
+    )
+    node_parser.add_argument(
+        "--node-id", type=int, required=True, help="this process's member id"
+    )
+    node_parser.add_argument(
+        "--status", type=str, default=None, help="periodic status JSON path"
+    )
+    node_parser.add_argument(
+        "--tx-rate", type=float, default=0.0, help="submitted transactions per second"
+    )
+    node_parser.add_argument(
+        "--duration", type=float, default=None, help="max runtime in seconds"
+    )
+    node_parser.set_defaults(func=_cmd_run_node)
+
+    localnet_parser = sub.add_parser(
+        "localnet", help="launch an N-node localhost cluster and measure it"
+    )
+    localnet_parser.add_argument(
+        "--nodes", "-n", type=int, default=4, help="cluster size"
+    )
+    localnet_parser.add_argument(
+        "--height", type=int, default=5, help="common-prefix height to reach"
+    )
+    localnet_parser.add_argument(
+        "--deadline", type=float, default=60.0, help="wall-clock budget (s)"
+    )
+    localnet_parser.add_argument(
+        "--tx-rate", type=float, default=20.0, help="per-node transactions per second"
+    )
+    localnet_parser.add_argument(
+        "--i0", type=float, default=0.5, help="target block interval (s)"
+    )
+    localnet_parser.add_argument("--seed", type=int, default=0, help="manifest seed")
+    localnet_parser.add_argument(
+        "--workdir", type=str, default=None, help="keep manifest/status files here"
+    )
+    localnet_parser.add_argument(
+        "--sign", action="store_true", help="real ECDSA signing/verification (slow)"
+    )
+    localnet_parser.set_defaults(func=_cmd_localnet)
     return parser
 
 

@@ -16,9 +16,9 @@ from repro.chain.block import Block
 from repro.core.difficulty import DifficultyParams
 from repro.crypto.keys import KeyPair
 from repro.mining.oracle import MiningOracle
+from repro.net.clock import Clock
 from repro.net.message import Message
-from repro.net.network import SimulatedNetwork
-from repro.net.simulator import Simulator
+from repro.net.transport import Transport
 
 #: Estimated serialized header + signature envelope size in bytes, used when
 #: charging compact block relays (header + per-tx ids).
@@ -36,10 +36,17 @@ VOTE_BYTES = 192
 
 @dataclass
 class RunContext:
-    """Per-run singletons shared by every node in a simulation."""
+    """Per-run singletons shared by every node in a deployment.
 
-    sim: Simulator
-    network: SimulatedNetwork
+    ``sim`` and ``network`` are *interfaces* (:class:`~repro.net.clock.Clock`
+    and :class:`~repro.net.transport.Transport`): the same node code runs on
+    the deterministic simulator and on the live asyncio TCP backend.
+    Harness code that needs backend-specific surface (``Simulator.run``,
+    chaos partitions) keeps its own reference to the concrete object.
+    """
+
+    sim: Clock
+    network: Transport
     oracle: MiningOracle
     genesis: Block
     params: DifficultyParams

@@ -37,8 +37,9 @@ from repro.consensus.base import (
 from repro.crypto.keys import KeyPair
 from repro.crypto.merkle import EMPTY_ROOT
 from repro.errors import ConsensusError
+from repro.net.clock import TimerHandle
 from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
-from repro.net.simulator import EventHandle
+from repro.net.network import SimulatedNetwork
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,11 @@ class PBFTCluster:
     ) -> None:
         if len(keypairs) < 4:
             raise ConsensusError("PBFT needs n >= 4 (n = 3f + 1 with f >= 1)")
+        if not isinstance(ctx.network, SimulatedNetwork):
+            # The baseline's analytic round-timing model reads the simulated
+            # link parameters; it has no live-transport counterpart.
+            raise ConsensusError("the PBFT baseline requires the simulated network")
+        self._link = ctx.network.link
         self.ctx = ctx
         self.config = config or PBFTConfig()
         self.replicas = [
@@ -122,8 +128,8 @@ class PBFTCluster:
         self._round_deliveries: dict[int, float] = {}
         self._round_active = False
         self._round_block: Block | None = None
-        self._commit_handle: EventHandle | None = None
-        self._timeout_handle: EventHandle | None = None
+        self._commit_handle: TimerHandle | None = None
+        self._timeout_handle: TimerHandle | None = None
         self._consecutive_view_changes = 0
         self._parent_hash = ctx.genesis.block_id
         self._running = False
@@ -135,7 +141,7 @@ class PBFTCluster:
 
     def _vote_phase_duration(self) -> float:
         """Time for one all-to-all vote phase (aggregated, see module doc)."""
-        link = self.ctx.network.link
+        link = self._link
         serialization = link.serialization_time(self._vote_wire()) * (self.n - 1)
         return serialization + link.min_delay
 
@@ -145,7 +151,7 @@ class PBFTCluster:
 
     def expected_round_duration(self) -> float:
         """Analytic estimate of a fault-free round (used for the timeout)."""
-        link = self.ctx.network.link
+        link = self._link
         dissemination = (
             link.serialization_time(self._proposal_wire() + MESSAGE_OVERHEAD_BYTES)
             * (self.n - 1)

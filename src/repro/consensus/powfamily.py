@@ -44,8 +44,8 @@ from repro.ledger.executor import Executor
 from repro.ledger.mempool import Mempool
 from repro.ledger.state import AccountState
 from repro.mining.miner import RealMiner
+from repro.net.clock import TimerHandle
 from repro.net.message import Message, is_sync_kind
-from repro.net.simulator import EventHandle
 from repro.node.sync import SyncConfig, SyncManager
 from repro.consensus.base import ConsensusNode, RunContext
 
@@ -154,7 +154,7 @@ class MiningNode(ConsensusNode):
         self.sync = SyncManager(self, config.sync)
         self.clock_skew = 0.0
         self.crashed = False
-        self._mining_handle: EventHandle | None = None
+        self._mining_handle: TimerHandle | None = None
         self._started = False
         self._resume_after_sync = False
         self._last_sync_request = -1e18

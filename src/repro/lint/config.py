@@ -51,8 +51,14 @@ class LintConfig:
     #: Sub-packages of ``repro`` whose code executes inside the simulation
     #: (REP001/REP003/REP005 scope).  Only the simulated clock ticks here.
     sim_packages: frozenset[str] = frozenset(
-        {"consensus", "chain", "net", "node", "mining", "ledger", "sim", "chaos"}
+        {"consensus", "chain", "net", "node", "mining", "ledger", "sim", "chaos", "live"}
     )
+
+    #: Sub-packages exempt from REP001 *by design*: the live transport runs
+    #: on real sockets and real time (asyncio's clock is the wall clock), so
+    #: host-clock reads there are the point, not a leak.  Every other rule
+    #: still applies — live code must stay seeded, sorted and pickle-free.
+    wall_clock_exempt_packages: frozenset[str] = frozenset({"live"})
 
     #: Modules allowed to read ``os.environ`` (REP006).  Everything else
     #: must route through the :mod:`repro.node.config` gateway.
@@ -154,6 +160,13 @@ class LintConfig:
             return False
         parts = module.split(".")
         return len(parts) >= 2 and parts[1] in self.sim_packages
+
+    def is_wall_clock_exempt(self, module: str) -> bool:
+        """True for modules whose package may read the host clock (REP001)."""
+        if not module.startswith("repro."):
+            return False
+        parts = module.split(".")
+        return len(parts) >= 2 and parts[1] in self.wall_clock_exempt_packages
 
     def is_repro_module(self, module: str) -> bool:
         return module == "repro" or module.startswith("repro.")

@@ -52,6 +52,8 @@ class WallClockRule(Rule):
     ) -> Iterator[Diagnostic]:
         if not self.config.is_sim_module(ctx.module):
             return
+        if self.config.is_wall_clock_exempt(ctx.module):
+            return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue

@@ -1,0 +1,264 @@
+"""The localhost cluster driver (``python -m repro localnet``).
+
+Spawns one OS process per consortium member (each running the ``run-node``
+entry point against a shared manifest), drives a transaction workload, and
+watches the per-node status files until every node agrees on a common
+chain prefix of the requested height — the live-mode acceptance check for
+Prop. 1's convergence claim, measured in wall-clock time instead of
+simulated time.
+
+The report carries wall-clock TPS over the converged prefix, per-node
+heights, and whether teardown was clean.  Nothing here is deterministic —
+real schedulers and real sockets decide ordering — which is exactly why
+the parity suite (`tests/test_transport_parity.py`) separately pins the
+simulated backend's byte-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.live.manifest import localhost_manifest
+
+
+class LocalnetError(ReproError):
+    """The cluster failed to launch, converge, or shut down."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class LocalnetConfig:
+    """One localnet run.
+
+    Attributes:
+        nodes: cluster size.
+        target_height: common-prefix height that counts as converged.
+        deadline: wall-clock seconds to reach it.
+        tx_rate: per-node transaction submissions per second.
+        i0: target block interval in real seconds (keep it sub-second for
+            smoke tests; the difficulty calibration works at any scale).
+        seed: manifest master seed.
+        degree: gossip overlay degree.
+        workdir: where the manifest and status files live (a temp dir when
+            None).
+        poll_interval: seconds between status sweeps.
+        sign_blocks / verify_signatures: real ECDSA (slow; off for smoke).
+    """
+
+    nodes: int = 4
+    target_height: int = 5
+    deadline: float = 60.0
+    tx_rate: float = 20.0
+    i0: float = 0.5
+    seed: int = 0
+    degree: int = 6
+    workdir: str | None = None
+    poll_interval: float = 0.2
+    sign_blocks: bool = False
+    verify_signatures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise LocalnetError("a localnet needs at least two nodes")
+        if self.target_height < 1:
+            raise LocalnetError("target_height must be >= 1")
+        if self.deadline <= 0:
+            raise LocalnetError("deadline must be positive")
+
+
+@dataclass
+class LocalnetReport:
+    """What one localnet run observed."""
+
+    converged: bool
+    common_height: int
+    target_height: int
+    elapsed: float
+    tps: float
+    committed_txs: int
+    node_heights: dict[int, int] = field(default_factory=dict)
+    clean_shutdown: bool = True
+
+    def summary(self) -> str:
+        status = "CONVERGED" if self.converged else "DID NOT CONVERGE"
+        return (
+            f"localnet {status}: common prefix height {self.common_height}"
+            f"/{self.target_height} after {self.elapsed:.1f}s wall clock, "
+            f"{self.committed_txs} txs committed, {self.tps:.1f} TPS"
+        )
+
+
+def free_ports(count: int) -> list[int]:
+    """Reserve ``count`` distinct ephemeral localhost ports.
+
+    The sockets are held open while choosing (so the OS cannot hand the
+    same port out twice) and closed just before returning — the classic
+    small race is acceptable for a test cluster on localhost.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _read_status(path: Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        # Not written yet, or mid-replace on a filesystem without atomic
+        # rename semantics; the next poll will see it.
+        return None
+
+
+def common_prefix_height(chains: list[list[list[Any]]]) -> int:
+    """Highest height at which every chain holds the same block id.
+
+    Each chain is the status-file encoding: ``[[block_id_hex, tx_count],
+    ...]`` from genesis upward.
+    """
+    if not chains:
+        return 0
+    depth = min(len(chain) for chain in chains)
+    agreed = 0
+    for height in range(1, depth):
+        ids = {chain[height][0] for chain in chains}
+        if len(ids) != 1:
+            break
+        agreed = height
+    return agreed
+
+
+def run_localnet(config: LocalnetConfig) -> LocalnetReport:
+    """Launch the cluster, wait for convergence, tear it down, report."""
+    with tempfile.TemporaryDirectory(prefix="repro-localnet-") as tmp:
+        workdir = Path(config.workdir) if config.workdir is not None else Path(tmp)
+        workdir.mkdir(parents=True, exist_ok=True)
+        manifest = localhost_manifest(
+            ports=free_ports(config.nodes),
+            seed=config.seed,
+            degree=config.degree,
+            i0=config.i0,
+        )
+        if config.sign_blocks or config.verify_signatures:
+            manifest = replace(
+                manifest,
+                sign_blocks=config.sign_blocks,
+                verify_signatures=config.verify_signatures,
+            )
+        manifest_path = workdir / "manifest.json"
+        manifest.save(manifest_path)
+        status_paths = {
+            i: workdir / f"status-{i}.json" for i in range(config.nodes)
+        }
+
+        processes: dict[int, subprocess.Popen[bytes]] = {}
+        try:
+            for i in range(config.nodes):
+                processes[i] = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "run-node",
+                        "--manifest",
+                        str(manifest_path),
+                        "--node-id",
+                        str(i),
+                        "--status",
+                        str(status_paths[i]),
+                        "--tx-rate",
+                        str(config.tx_rate),
+                        "--duration",
+                        str(config.deadline + 30.0),
+                    ],
+                )
+            report = _watch(config, processes, status_paths)
+        finally:
+            report_clean = _teardown(processes)
+        report.clean_shutdown = report_clean
+        return report
+
+
+def _watch(
+    config: LocalnetConfig,
+    processes: dict[int, subprocess.Popen[bytes]],
+    status_paths: dict[int, Path],
+) -> LocalnetReport:
+    """Poll status files until convergence or the deadline."""
+    start = time.monotonic()
+    best_height = 0
+    statuses: dict[int, dict[str, Any]] = {}
+    while time.monotonic() - start < config.deadline:
+        for node_id, process in sorted(processes.items()):
+            code = process.poll()
+            if code is not None:
+                raise LocalnetError(
+                    f"node {node_id} exited early with code {code}"
+                )
+        for node_id, path in sorted(status_paths.items()):
+            record = _read_status(path)
+            if record is not None:
+                statuses[node_id] = record
+        if len(statuses) == len(processes):
+            chains = [statuses[i]["chain"] for i in sorted(statuses)]
+            best_height = common_prefix_height(chains)
+            if best_height >= config.target_height:
+                elapsed = time.monotonic() - start
+                reference = statuses[min(statuses)]["chain"]
+                committed = sum(
+                    int(entry[1]) for entry in reference[1 : best_height + 1]
+                )
+                return LocalnetReport(
+                    converged=True,
+                    common_height=best_height,
+                    target_height=config.target_height,
+                    elapsed=elapsed,
+                    tps=committed / elapsed if elapsed > 0 else 0.0,
+                    committed_txs=committed,
+                    node_heights={
+                        i: int(statuses[i]["height"]) for i in sorted(statuses)
+                    },
+                )
+        time.sleep(config.poll_interval)
+    return LocalnetReport(
+        converged=False,
+        common_height=best_height,
+        target_height=config.target_height,
+        elapsed=time.monotonic() - start,
+        tps=0.0,
+        committed_txs=0,
+        node_heights={i: int(s["height"]) for i, s in sorted(statuses.items())},
+    )
+
+
+def _teardown(processes: dict[int, subprocess.Popen[bytes]]) -> bool:
+    """SIGTERM every node, escalate to SIGKILL on stragglers."""
+    clean = True
+    for process in processes.values():
+        if process.poll() is None:
+            process.terminate()
+    deadline = time.monotonic() + 10.0
+    for process in processes.values():
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            clean = False
+            process.kill()
+            process.wait(timeout=5.0)
+    return clean

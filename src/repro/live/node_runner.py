@@ -1,0 +1,187 @@
+"""One live consortium node process (``python -m repro run-node``).
+
+Boots the full simulated stack — :class:`~repro.node.node.FullNode` with
+mempool, ledger and governance contract — over the live backends: the
+:class:`~repro.live.clock.LiveClock` and
+:class:`~repro.live.transport.TcpGossipTransport`.  The consensus code is
+byte-for-byte the same code the simulator drives; only the two injected
+backends differ.
+
+The process periodically writes an atomic JSON status file (chain ids,
+heights, counters) that the :mod:`~repro.live.localnet` driver polls to
+measure convergence and TPS, and it exits cleanly on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any
+
+from repro.chain.genesis import make_genesis
+from repro.consensus.base import RunContext
+from repro.errors import InvalidTransactionError
+from repro.live.clock import LiveClock
+from repro.live.manifest import ConsortiumManifest
+from repro.live.transport import TcpGossipTransport
+from repro.mining.oracle import MiningOracle
+from repro.node.config import FullNodeConfig
+from repro.node.node import FullNode
+
+
+def write_status(path: str | Path, record: dict[str, Any]) -> None:
+    """Atomically replace the status file (pollers never see half a write)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(record, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def node_status(node: FullNode, now: float) -> dict[str, Any]:
+    """Snapshot one node's chain for the localnet driver."""
+    chain = node.main_chain()
+    return {
+        "node_id": node.node_id,
+        "time": now,
+        "height": node.state.height(),
+        "head": node.state.head_id.hex(),
+        "chain": [[block.block_id.hex(), len(block.transactions)] for block in chain],
+        "mempool": len(node.mempool),
+        "blocks_produced": node.stats.blocks_produced,
+        "blocks_accepted": node.stats.blocks_accepted,
+        "reorgs": node.stats.reorgs,
+        "network": node.ctx.network.stats.to_dict(),
+    }
+
+
+async def run_node(
+    *,
+    manifest: ConsortiumManifest,
+    node_id: int,
+    status_path: str | Path | None = None,
+    tx_rate: float = 0.0,
+    status_interval: float = 0.25,
+    connect_timeout: float = 10.0,
+    duration: float | None = None,
+    stop_event: asyncio.Event | None = None,
+) -> FullNode:
+    """Run one live node until ``stop_event`` / SIGTERM (or ``duration``).
+
+    Args:
+        manifest: the shared consortium manifest.
+        node_id: this process's member id.
+        status_path: where to drop periodic status JSON (None disables).
+        tx_rate: submitted transactions per second (Poisson arrivals, paid
+            to uniformly drawn other members); 0 disables the workload.
+        status_interval: seconds between status writes.
+        connect_timeout: seconds to wait for overlay neighbors before
+            starting anyway (a late-starting cluster must not deadlock).
+        duration: optional hard runtime cap in seconds.
+        stop_event: external shutdown trigger (tests); SIGTERM/SIGINT set
+            it too when a loop signal handler can be installed.
+
+    Returns:
+        The (stopped) node, so callers can inspect its final state.
+    """
+    clock = LiveClock(seed=manifest.node_seed(node_id))
+    transport = TcpGossipTransport(manifest=manifest, node_id=node_id, clock=clock)
+    await transport.start()
+
+    keys = manifest.keypairs()
+    ctx = RunContext(
+        sim=clock,
+        network=transport,
+        oracle=MiningOracle(clock.rng, manifest.difficulty_params().t0),
+        genesis=make_genesis(),
+        params=manifest.difficulty_params(),
+        members=manifest.members(),
+    )
+    node = FullNode(
+        node_id,
+        keys[node_id],
+        ctx,
+        FullNodeConfig(
+            sign_blocks=manifest.sign_blocks,
+            verify_signatures=manifest.verify_signatures,
+        ),
+    )
+
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, stop_event.set)
+
+    # Start mining only once the overlay is reachable: the first blocks
+    # would otherwise be mined into the void and force immediate syncs.
+    min_peers = max(1, len(transport.neighbors(node_id)) // 2)
+    await transport.wait_connected(min_peers, timeout=connect_timeout)
+    node.start()
+
+    members = ctx.members
+    rng = clock.rng
+
+    async def workload() -> None:
+        while True:
+            await asyncio.sleep(clock.exponential(tx_rate))
+            recipient = members[int(rng.integers(0, len(members)))]
+            with contextlib.suppress(InvalidTransactionError):
+                node.pay(recipient, 1)
+
+    async def status_writer(path: str | Path) -> None:
+        while True:
+            write_status(path, node_status(node, clock.now))
+            await asyncio.sleep(status_interval)
+
+    tasks: list[asyncio.Task[None]] = []
+    if tx_rate > 0:
+        tasks.append(loop.create_task(workload(), name=f"workload-{node_id}"))
+    if status_path is not None:
+        tasks.append(
+            loop.create_task(status_writer(status_path), name=f"status-{node_id}")
+        )
+
+    try:
+        if duration is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop_event.wait(), timeout=duration)
+        else:
+            await stop_event.wait()
+    finally:
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        node.stop()
+        await transport.stop()
+        if status_path is not None:
+            write_status(status_path, node_status(node, clock.now))
+    return node
+
+
+def main(
+    *,
+    manifest_path: str,
+    node_id: int,
+    status_path: str | None = None,
+    tx_rate: float = 0.0,
+    duration: float | None = None,
+) -> int:
+    """Blocking entry point for the ``run-node`` CLI subcommand."""
+    manifest = ConsortiumManifest.load(manifest_path)
+    asyncio.run(
+        run_node(
+            manifest=manifest,
+            node_id=node_id,
+            status_path=status_path,
+            tx_rate=tx_rate,
+            duration=duration,
+        )
+    )
+    return 0

@@ -15,86 +15,34 @@ are "prevented from putting the produced blocks into the main chain"
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable
+from collections.abc import Iterable
 
 from repro.errors import NetworkError
 from repro.net.latency import LinkModel
 from repro.net.message import Message
 from repro.net.simulator import Simulator
+from repro.net.transport import DropFilter, Handler, LinkDisturbance, NetworkStats
 
-#: Delivery callback: (message, from_peer) -> None.
-Handler = Callable[[Message, int], None]
-#: Outbound filter: return True to silently drop the message.
-DropFilter = Callable[[Message], bool]
-
-
-@dataclass
-class NetworkStats:
-    """Aggregate traffic counters for overhead accounting (§VI-C).
-
-    ``messages_dropped`` counts every transfer the network swallowed instead
-    of delivering — sends to/from offline nodes, cross-partition traffic,
-    armed drop filters, and lossy links — broken down by cause in
-    ``drops_by_reason``.  Chaos experiments read these to verify a fault
-    actually bit; silently disappearing messages are not allowed.
-    """
-
-    messages_sent: int = 0
-    bytes_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
-    messages_duplicated: int = 0
-    bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    messages_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    drops_by_reason: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-
-    def record_drop(self, reason: str) -> None:
-        """Count one dropped transfer under ``reason``."""
-        self.messages_dropped += 1
-        self.drops_by_reason[reason] += 1
-
-
-@dataclass(frozen=True)
-class LinkDisturbance:
-    """A degraded-link regime applied to a subset of the overlay.
-
-    Models the transient WAN pathologies consensus must survive (lossy,
-    duplicating, reordering and throttled links).  All randomness is drawn
-    from the simulator's seeded generator, so disturbed runs stay
-    deterministic and replayable.
-
-    Attributes:
-        loss: probability a transfer is dropped outright.
-        duplicate: probability a delivered transfer arrives twice.
-        reorder_jitter: half-width of extra uniform delivery delay in
-            seconds; enough jitter breaks FIFO ordering between messages on
-            the same link.
-        bandwidth_factor: multiplier on serialization time (2.0 halves the
-            effective uplink rate).
-    """
-
-    loss: float = 0.0
-    duplicate: float = 0.0
-    reorder_jitter: float = 0.0
-    bandwidth_factor: float = 1.0
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.loss <= 1.0:
-            raise NetworkError(f"loss must be in [0, 1], got {self.loss}")
-        if not 0.0 <= self.duplicate <= 1.0:
-            raise NetworkError(f"duplicate must be in [0, 1], got {self.duplicate}")
-        if self.reorder_jitter < 0:
-            raise NetworkError("reorder_jitter must be non-negative")
-        if self.bandwidth_factor < 1.0:
-            raise NetworkError("bandwidth_factor must be >= 1")
+__all__ = [
+    "DropFilter",
+    "Handler",
+    "LinkDisturbance",
+    "NetworkStats",
+    "SimulatedNetwork",
+]
 
 
 class SimulatedNetwork:
-    """Gossip overlay on top of the discrete-event simulator."""
+    """Gossip overlay on top of the discrete-event simulator.
+
+    One of the two :class:`~repro.net.transport.Transport` backends (and
+    the only :class:`~repro.net.transport.FaultableTransport` implementing
+    every chaos hook); see ``docs/transport.md``.
+    """
 
     def __init__(
         self,
+        *,
         sim: Simulator,
         adjacency: dict[int, list[int]],
         link: LinkModel | None = None,
@@ -127,6 +75,10 @@ class SimulatedNetwork:
     def node_ids(self) -> list[int]:
         """All attached node ids."""
         return sorted(self._handlers)
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """The node's overlay neighbors (sorted by topology construction)."""
+        return list(self.adjacency.get(node_id, []))
 
     # -- attack hooks --------------------------------------------------------------
 
@@ -264,10 +216,7 @@ class SimulatedNetwork:
         self._uplink_free[src] = finish
         base_delay = finish - self.sim.now
         arrival = base_delay + self.link.propagation_delay(self.sim.rng) + extra_jitter
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += message.size
-        self.stats.bytes_by_kind[message.kind] += message.size
-        self.stats.messages_by_kind[message.kind] += 1
+        self.stats.record_send(message.kind, message.size)
         self.sim.schedule(arrival, lambda: self._deliver(dst, src, message))
         if duplicated:
             # The copy rides the same uplink slot but its own propagation

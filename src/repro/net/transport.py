@@ -1,0 +1,275 @@
+"""The transport abstraction every node speaks through.
+
+Consensus nodes (:mod:`repro.node.node`, :mod:`repro.consensus.powfamily`)
+and the chain-sync protocol (:mod:`repro.node.sync`) never talk to a socket
+or a simulator directly — they program against :class:`Transport`, the
+structural interface this module defines.  Two backends implement it:
+
+* :class:`~repro.net.network.SimulatedNetwork` — the deterministic
+  discrete-event gossip overlay the evaluation runs on (§VII-A);
+* :class:`~repro.live.transport.TcpGossipTransport` — the asyncio TCP
+  backend that runs Themis nodes as real processes over real sockets
+  (``python -m repro localnet``).
+
+:class:`FaultableTransport` extends the surface with the chaos-injection
+hooks (drop filters, partitions, link disturbances); the simulated backend
+implements all of them, the live backend only the process-local subset (see
+``docs/transport.md`` for the backend matrix).
+
+:class:`NetworkStats` is the accounting surface both backends share: every
+transfer a backend swallows instead of delivering must be counted, broken
+down by cause — silently disappearing messages are not allowed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, fields
+from collections.abc import Callable, Iterable
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+
+#: Delivery callback: (message, from_peer) -> None.
+Handler = Callable[[Message, int], None]
+#: Outbound filter: return True to silently drop the message.
+DropFilter = Callable[[Message], bool]
+
+
+def _int_counter() -> dict[str, int]:
+    return defaultdict(int)
+
+
+@dataclass(eq=False)
+class NetworkStats:
+    """Aggregate traffic counters for overhead accounting (§VI-C).
+
+    ``messages_dropped`` counts every transfer the transport swallowed
+    instead of delivering — sends to/from offline nodes, cross-partition
+    traffic, armed drop filters, and lossy links — broken down by cause in
+    ``drops_by_reason``.  Chaos experiments read these to verify a fault
+    actually bit.
+
+    The per-kind counters are ``defaultdict`` internally (so accounting
+    code can increment without membership checks), which means merely
+    *reading* an absent key materializes a zero entry.  Serde therefore
+    goes through :meth:`to_dict` / :meth:`from_dict`, which normalize to
+    plain sorted dicts with zero entries dropped, and equality compares
+    the normalized forms — a JSON round-trip is exact even after such
+    spurious reads.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=_int_counter)
+    messages_by_kind: dict[str, int] = field(default_factory=_int_counter)
+    drops_by_reason: dict[str, int] = field(default_factory=_int_counter)
+
+    _COUNTER_FIELDS = ("bytes_by_kind", "messages_by_kind", "drops_by_reason")
+
+    def record_drop(self, reason: str) -> None:
+        """Count one dropped transfer under ``reason``."""
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
+
+    def record_send(self, kind: str, size: int) -> None:
+        """Count one transfer leaving a node's uplink."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.bytes_by_kind[kind] += size
+        self.messages_by_kind[kind] += 1
+
+    # -- serde boundary ----------------------------------------------------------
+
+    @staticmethod
+    def _normalized(counter: dict[str, int]) -> dict[str, int]:
+        """Plain sorted dict with defaultdict-materialized zeros dropped."""
+        return {key: counter[key] for key in sorted(counter) if counter[key]}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe record; per-kind counters become plain sorted dicts."""
+        record: dict[str, Any] = {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+        }
+        for name in self._COUNTER_FIELDS:
+            record[name] = self._normalized(getattr(self, name))
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "NetworkStats":
+        """Rebuild from :meth:`to_dict` output (exact round-trip)."""
+        stats = cls(
+            messages_sent=record["messages_sent"],
+            bytes_sent=record["bytes_sent"],
+            messages_delivered=record["messages_delivered"],
+            messages_dropped=record["messages_dropped"],
+            messages_duplicated=record["messages_duplicated"],
+        )
+        for name in cls._COUNTER_FIELDS:
+            getattr(stats, name).update(record.get(name, {}))
+        return stats
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkStats):
+            return NotImplemented
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name in self._COUNTER_FIELDS:
+                if self._normalized(mine) != self._normalized(theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class LinkDisturbance:
+    """A degraded-link regime applied to a subset of the overlay.
+
+    Models the transient WAN pathologies consensus must survive (lossy,
+    duplicating, reordering and throttled links).  On the simulated
+    backend all randomness is drawn from the simulator's seeded generator,
+    so disturbed runs stay deterministic and replayable.
+
+    Attributes:
+        loss: probability a transfer is dropped outright.
+        duplicate: probability a delivered transfer arrives twice.
+        reorder_jitter: half-width of extra uniform delivery delay in
+            seconds; enough jitter breaks FIFO ordering between messages on
+            the same link.
+        bandwidth_factor: multiplier on serialization time (2.0 halves the
+            effective uplink rate).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder_jitter: float = 0.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise NetworkError(f"loss must be in [0, 1], got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise NetworkError(f"duplicate must be in [0, 1], got {self.duplicate}")
+        if self.reorder_jitter < 0:
+            raise NetworkError("reorder_jitter must be non-negative")
+        if self.bandwidth_factor < 1.0:
+            raise NetworkError("bandwidth_factor must be >= 1")
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a consensus node needs from the network, and nothing more.
+
+    The contract (see ``docs/transport.md`` for the full statement):
+
+    * ``attach`` registers a node's delivery handler; a transport delivers
+      each arriving message exactly once to the handler of its destination.
+    * ``unicast`` is point-to-point with no forwarding (the sync protocol).
+    * ``broadcast`` sends one copy directly to every other known node
+      (PBFT-style all-to-all).
+    * ``gossip`` floods from the origin over the overlay;
+      ``gossip_deliver`` is the reception hook a handler calls to dedup and
+      schedule forwarding, returning ``True`` iff the message is new.
+    * ``neighbors`` exposes the overlay adjacency (peer rotation in sync).
+    * ``set_offline`` detaches a node from the world in both directions —
+      the crash/recovery path.
+    * every undelivered transfer is counted in ``stats`` with a reason.
+
+    Delivery timing is backend-defined (simulated link model vs. real
+    sockets); ordering guarantees are *per-link FIFO at best* and nodes
+    must not assume more.
+    """
+
+    stats: NetworkStats
+
+    def attach(self, node_id: int, handler: Handler) -> None:
+        """Register a node's delivery handler."""
+        ...
+
+    def detach(self, node_id: int) -> None:
+        """Remove a node's handler (delivery to it then drops, counted)."""
+        ...
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All node ids reachable through this transport, sorted."""
+        ...
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """The node's overlay neighbors, sorted."""
+        ...
+
+    def unicast(self, src: int, dst: int, message: Message) -> None:
+        """Send a message point-to-point (no gossip forwarding)."""
+        ...
+
+    def broadcast(self, src: int, message: Message) -> None:
+        """Send directly to every other known node (all-to-all)."""
+        ...
+
+    def gossip(self, origin: int, message: Message) -> None:
+        """Flood a message over the overlay with per-node dedup."""
+        ...
+
+    def gossip_deliver(self, dst: int, from_peer: int, message: Message) -> bool:
+        """Dedup + forward hook; True iff the message is new at ``dst``."""
+        ...
+
+    def set_offline(self, node_id: int, offline: bool) -> None:
+        """Fully detach a node (no sends, no deliveries)."""
+        ...
+
+    def is_offline(self, node_id: int) -> bool:
+        """True while the node is offline."""
+        ...
+
+
+@runtime_checkable
+class FaultableTransport(Transport, Protocol):
+    """A transport that supports the chaos-injection hooks.
+
+    The simulated backend implements every hook; live backends implement
+    the process-local subset (drop filters, offline) and raise
+    :class:`~repro.errors.NetworkError` for overlay-global faults they
+    cannot express (partitions, link disturbances) — see the backend
+    matrix in ``docs/transport.md``.
+    """
+
+    def set_drop_filter(self, node_id: int, drop: DropFilter | None) -> None:
+        """Install (or clear) an outbound drop filter on a node."""
+        ...
+
+    def set_partition(self, groups: list[list[int]] | None) -> None:
+        """Split the overlay into groups (``None`` heals)."""
+        ...
+
+    @property
+    def partition_map(self) -> dict[int, int] | None:
+        """Current node → partition-group assignment (``None`` healed)."""
+        ...
+
+    def partition_groups(self) -> list[set[int]] | None:
+        """Current partition as node-id sets (``None`` healed)."""
+        ...
+
+    def set_link_disturbance(
+        self,
+        name: str,
+        disturbance: LinkDisturbance | None,
+        nodes: Iterable[int] | None = None,
+    ) -> None:
+        """Install (or clear, with ``None``) a named link disturbance."""
+        ...
+
+    def active_disturbances(self) -> dict[str, LinkDisturbance]:
+        """Currently installed disturbances by name."""
+        ...

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.net.clock import TimerHandle
 from repro.net.message import (
     KIND_SYNC_BLOCKS_REQUEST,
     KIND_SYNC_BLOCKS_RESPONSE,
@@ -34,7 +35,6 @@ from repro.net.message import (
     KIND_SYNC_HEADERS_RESPONSE,
     Message,
 )
-from repro.net.simulator import EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.consensus.powfamily import MiningNode
@@ -109,7 +109,7 @@ class SyncManager:
         self._peer_offset = 0
         self._request_id: str | None = None
         self._request_counter = itertools.count()
-        self._timeout_handle: EventHandle | None = None
+        self._timeout_handle: TimerHandle | None = None
         self._pending_ids: list[bytes] = []
         self._page_full = False
 
@@ -145,7 +145,7 @@ class SyncManager:
         self._cancel_timeout()
 
     def _peers(self) -> list[int]:
-        return sorted(self.node.ctx.network.adjacency.get(self.node.node_id, []))
+        return sorted(self.node.ctx.network.neighbors(self.node.node_id))
 
     def _next_request_id(self) -> str:
         return f"{self.node.node_id}:{next(self._request_counter)}"

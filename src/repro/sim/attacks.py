@@ -30,7 +30,7 @@ from repro.chain.block import Block
 from repro.consensus.powfamily import MiningNode
 from repro.errors import SimulationError
 from repro.net.message import Message
-from repro.net.network import SimulatedNetwork
+from repro.net.transport import FaultableTransport
 
 
 @dataclass
@@ -44,14 +44,14 @@ class VulnerableNodeAttack:
         # filters removed here, even if the run raised
     """
 
-    network: SimulatedNetwork
+    network: FaultableTransport
     victims: list[int] = field(default_factory=list)
     armed: bool = field(default=False, init=False)
 
     @classmethod
     def select(
         cls,
-        network: SimulatedNetwork,
+        network: FaultableTransport,
         node_ids: list[int],
         ratio: float,
         rng: np.random.Generator,

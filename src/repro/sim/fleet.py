@@ -67,7 +67,7 @@ def build_mining_fleet(
             degree += 1
         topology = random_regular_topology(n, degree, seed=seed)
     network = SimulatedNetwork(
-        sim, topology, link or LinkModel(jitter=jitter)
+        sim=sim, adjacency=topology, link=link or LinkModel(jitter=jitter)
     )
     params = DifficultyParams(
         i0=i0, h0=h0, beta=beta, initial_base_scale=initial_base_scale
@@ -93,6 +93,8 @@ def run_fleet_to_height(
     observer_index: int = 0,
 ) -> None:
     """Start every node and run until the observer's chain reaches a height."""
+    if not isinstance(ctx.sim, Simulator):
+        raise SimulationError("run_fleet_to_height drives the discrete-event simulator")
     for node in nodes:
         node.start()
     observer = nodes[observer_index]

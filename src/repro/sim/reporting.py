@@ -24,7 +24,7 @@ from repro.chaos.faults import FaultEvent
 from repro.chaos.invariants import InvariantReport
 from repro.chaos.schedule import plan_from_dict, plan_to_dict
 from repro.errors import SimulationError
-from repro.net.network import NetworkStats
+from repro.net.transport import NetworkStats
 from repro.sim.metrics import ChaosReport, ForkReport
 from repro.sim.runner import ExperimentConfig, RunResult
 
@@ -74,16 +74,7 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
         "unpredictability": list(result.unpredictability),
         "members": [m.hex() for m in result.members],
         "view_changes": result.view_changes,
-        "network": {
-            "messages_sent": result.network.messages_sent,
-            "bytes_sent": result.network.bytes_sent,
-            "messages_delivered": result.network.messages_delivered,
-            "messages_dropped": result.network.messages_dropped,
-            "messages_duplicated": result.network.messages_duplicated,
-            "drops_by_reason": dict(result.network.drops_by_reason),
-            "bytes_by_kind": dict(result.network.bytes_by_kind),
-            "messages_by_kind": dict(result.network.messages_by_kind),
-        },
+        "network": result.network.to_dict(),
     }
     if result.chaos is not None:
         record["chaos"] = asdict(result.chaos)
@@ -139,16 +130,7 @@ def result_from_dict(record: Mapping[str, Any]) -> RunResult:
             fork_rate=f["fork_rate"],
             durations=tuple(f["durations"]),
         )
-    network = NetworkStats(
-        messages_sent=record["network"]["messages_sent"],
-        bytes_sent=record["network"]["bytes_sent"],
-        messages_delivered=record["network"]["messages_delivered"],
-        messages_dropped=record["network"]["messages_dropped"],
-        messages_duplicated=record["network"]["messages_duplicated"],
-    )
-    network.drops_by_reason.update(record["network"]["drops_by_reason"])
-    network.bytes_by_kind.update(record["network"]["bytes_by_kind"])
-    network.messages_by_kind.update(record["network"].get("messages_by_kind", {}))
+    network = NetworkStats.from_dict(record["network"])
     chaos = None
     if record.get("chaos") is not None:
         chaos = ChaosReport(**record["chaos"])

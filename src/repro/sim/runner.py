@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.chain.genesis import make_genesis
 from repro.chaos.faults import ChaosController, FaultEvent
@@ -54,6 +54,9 @@ from repro.sim.metrics import (
     stable_value,
     unpredictability_series,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crypto.keys import KeyPair
 
 Algorithm = Literal["themis", "themis-lite", "pow-h", "pbft"]
 
@@ -178,14 +181,31 @@ def _build_topology(cfg: ExperimentConfig) -> dict[int, list[int]]:
     return random_regular_topology(cfg.n, degree, seed=cfg.seed)
 
 
-def _build_context(cfg: ExperimentConfig) -> RunContext:
+@dataclass
+class _Harness:
+    """One built experiment stack.
+
+    ``ctx`` types its network/clock as the :class:`Transport` /
+    :class:`~repro.net.clock.Clock` protocols (all a node may touch); the
+    harness keeps the concrete simulator and network so orchestration code
+    can drive the event loop and arm chaos hooks without downcasting.
+    """
+
+    ctx: RunContext
+    sim: Simulator
+    network: SimulatedNetwork
+    profile: PowerProfile
+    keys: list["KeyPair"]
+
+
+def _build_context(cfg: ExperimentConfig) -> _Harness:
     from repro.crypto.keys import KeyPair
 
     sim = Simulator(seed=cfg.seed)
     link = LinkModel(
         bandwidth_bps=cfg.bandwidth_bps, min_delay=cfg.min_delay, jitter=cfg.jitter
     )
-    network = SimulatedNetwork(sim, _build_topology(cfg), link)
+    network = SimulatedNetwork(sim=sim, adjacency=_build_topology(cfg), link=link)
     params = cfg.difficulty_params()
     oracle = MiningOracle(sim.rng, params.t0)
     keys = [KeyPair.from_seed(f"node-{i}") for i in range(cfg.n)]
@@ -197,7 +217,9 @@ def _build_context(cfg: ExperimentConfig) -> RunContext:
         params=params,
         members=[k.public.fingerprint() for k in keys],
     )
-    return ctx, cfg.power_profile(), keys
+    return _Harness(
+        ctx=ctx, sim=sim, network=network, profile=cfg.power_profile(), keys=keys
+    )
 
 
 def run_experiment(cfg: ExperimentConfig) -> RunResult:
@@ -208,7 +230,8 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
 
 
 def _run_mining(cfg: ExperimentConfig) -> RunResult:
-    ctx, profile, keys = _build_context(cfg)
+    harness = _build_context(cfg)
+    ctx, profile, keys = harness.ctx, harness.profile, harness.keys
     nodes = [
         MiningNode(i, keys[i], ctx, cfg.mining_config(profile.powers[i]))
         for i in range(cfg.n)
@@ -216,18 +239,18 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
     attack = None
     if cfg.vulnerable_ratio > 0:
         attack = VulnerableNodeAttack.select(
-            ctx.network, list(range(cfg.n)), cfg.vulnerable_ratio, ctx.sim.rng
+            harness.network, list(range(cfg.n)), cfg.vulnerable_ratio, harness.sim.rng
         )
     controller = None
     if cfg.fault_plan is not None and len(cfg.fault_plan):
-        controller = ChaosController(nodes, ctx.network, ctx.sim)
+        controller = ChaosController(nodes, harness.network, harness.sim)
         FaultScheduler(controller, cfg.fault_plan).arm()
     monitor = None
     if cfg.monitor_invariants:
         monitor = InvariantMonitor(
             nodes,
-            ctx.network,
-            ctx.sim,
+            harness.network,
+            harness.sim,
             InvariantConfig(
                 confirmation_depth=cfg.confirmation_depth,
                 check_interval=cfg.invariant_check_interval,
@@ -266,7 +289,7 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
             "no node is both attack-free and crash-free to observe the run"
         ) from None
 
-    ctx.sim.run(
+    harness.sim.run(
         until=cfg.max_sim_time,
         max_events=cfg.max_events,
         stop_when=lambda: observer.state.height() >= target_height,
@@ -324,15 +347,16 @@ def _run_pbft(cfg: ExperimentConfig) -> RunResult:
             "fault plans target the PoW-family crash/sync path; PBFT runs "
             "do not support chaos injection"
         )
-    ctx, _profile, keys = _build_context(cfg)
+    harness = _build_context(cfg)
+    ctx, keys = harness.ctx, harness.keys
     cluster = PBFTCluster(ctx, keys, PBFTConfig(batch_size=cfg.batch_size))
     attack = None
     if cfg.vulnerable_ratio > 0:
         attack = VulnerableNodeAttack.select(
-            ctx.network, list(range(cfg.n)), cfg.vulnerable_ratio, ctx.sim.rng
+            harness.network, list(range(cfg.n)), cfg.vulnerable_ratio, harness.sim.rng
         )
     cluster.start()
-    ctx.sim.run(
+    harness.sim.run(
         until=cfg.max_sim_time,
         max_events=cfg.max_events,
         stop_when=lambda: cluster.stats.rounds_committed >= cfg.pbft_rounds,

@@ -14,14 +14,10 @@ n = 600 (Fig. 6).  These canned grids preserve every structural parameter
 while defaulting to smaller n so the whole benchmark suite finishes in
 minutes on one machine; every builder accepts overrides for full-scale
 replication.  EXPERIMENTS.md records which scale each reported number used.
-
-The pre-spec, one-config-at-a-time helpers (``equality_scenario`` and
-friends) remain as thin deprecated wrappers around the builders.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from collections.abc import Callable, Iterable, Sequence
 
@@ -274,56 +270,3 @@ SCENARIOS: dict[str, Callable[..., ScenarioSpec]] = {
     "fig8": fork_spec,
     "fig9": epoch_length_spec,
 }
-
-
-# -- deprecated one-config helpers ---------------------------------------------------
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; build a ScenarioSpec with {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def equality_scenario(
-    algorithm: Algorithm, seed: int = 0, n: int = 40, epochs: int = 12
-) -> ExperimentConfig:
-    """Deprecated: use :func:`equality_spec`."""
-    _deprecated("equality_scenario", "equality_spec")
-    return equality_spec(n=n, epochs=epochs, seed=seed, algorithms=(algorithm,)).grid[0]
-
-
-def scalability_scenario(
-    algorithm: Algorithm, n: int, seed: int = 0
-) -> ExperimentConfig:
-    """Deprecated: use :func:`scalability_spec`."""
-    _deprecated("scalability_scenario", "scalability_spec")
-    return scalability_spec(ns=(n,), seed=seed, algorithms=(algorithm,)).grid[0]
-
-
-def attack_scenario(
-    algorithm: Algorithm, vulnerable_ratio: float, seed: int = 0, n: int = 40
-) -> ExperimentConfig:
-    """Deprecated: use :func:`attack_spec`."""
-    _deprecated("attack_scenario", "attack_spec")
-    return attack_spec(
-        ratios=(vulnerable_ratio,), n=n, seed=seed, algorithms=(algorithm,)
-    ).grid[0]
-
-
-def fork_scenario(algorithm: Algorithm, seed: int = 0, n: int = 40) -> ExperimentConfig:
-    """Deprecated: use :func:`fork_spec`."""
-    _deprecated("fork_scenario", "fork_spec")
-    return fork_spec(n=n, seed=seed, algorithms=(algorithm,)).grid[0]
-
-
-def epoch_length_scenario(
-    beta: float, seed: int = 0, n: int = 20, height_factor: int = 96
-) -> ExperimentConfig:
-    """Deprecated: use :func:`epoch_length_spec`."""
-    _deprecated("epoch_length_scenario", "epoch_length_spec")
-    return epoch_length_spec(
-        betas=(beta,), n=n, seed=seed, height_factor=height_factor
-    ).grid[0]

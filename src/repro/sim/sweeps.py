@@ -7,13 +7,10 @@ or a single :class:`~repro.sim.runner.ExperimentConfig` across seeds —
 optionally in parallel and through the content-addressed result cache — and
 :class:`SweepSummary` aggregates any scalar metric with mean / median /
 95 % normal-approximation confidence interval.
-
-The legacy positional :func:`seed_sweep` remains as a deprecated wrapper.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from collections.abc import Callable, Iterable, Sequence
@@ -120,19 +117,6 @@ def sweep(
     # The default engine raises on failure; a permissive caller-supplied
     # engine may hand back None holes — drop them here, order preserved.
     return [r for r in results if r is not None]
-
-
-def seed_sweep(
-    base: ExperimentConfig, seeds: Sequence[int]
-) -> list[RunResult]:
-    """Deprecated: use :func:`sweep` (keyword-only, parallel, cached)."""
-    warnings.warn(
-        "seed_sweep(base, seeds) is deprecated; use "
-        "sweep(experiment=base, seeds=seeds, jobs=..., cache=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return sweep(experiment=base, seeds=seeds)
 
 
 def summarize(results: Sequence[RunResult], metric: MetricFn) -> SweepSummary:

@@ -133,7 +133,7 @@ class TestRealPoWAudit:
 
         n = 3
         sim = Simulator(seed=4)
-        network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+        network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=0.01))
         params = DifficultyParams(t0=EASY_T0, i0=4.0, h0=1.0, beta=2.0)
         keys = [keypair(i) for i in range(n)]
         ctx = RunContext(

@@ -38,6 +38,21 @@ class TestParser:
             args = build_parser().parse_args([*command, "--jobs", "3"])
             assert args.jobs == 3
 
+    def test_localnet_defaults(self):
+        args = build_parser().parse_args(["localnet"])
+        assert args.nodes == 4
+        assert args.height == 5
+        assert args.sign is False
+
+    def test_run_node_requires_manifest_and_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-node"])
+        args = build_parser().parse_args(
+            ["run-node", "--manifest", "m.json", "--node-id", "2"]
+        )
+        assert args.manifest == "m.json"
+        assert args.node_id == 2
+
 
 class TestCommands:
     def test_run_command(self, capsys, tmp_path):

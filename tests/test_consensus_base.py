@@ -24,7 +24,7 @@ from tests.conftest import keypair
 
 def make_ctx(n: int = 4) -> RunContext:
     sim = Simulator(seed=0)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel())
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel())
     params = DifficultyParams()
     keys = [keypair(i) for i in range(n)]
     return RunContext(

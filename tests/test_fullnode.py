@@ -20,7 +20,7 @@ from tests.conftest import keypair
 
 def make_consortium(n=4, seed=0, verify=True, i0=5.0):
     sim = Simulator(seed=seed)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=0.01))
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=0.01))
     params = DifficultyParams(i0=i0, h0=1.0, beta=2.0)
     keys = [keypair(i) for i in range(n)]
     ctx = RunContext(

@@ -1,0 +1,283 @@
+"""Tests for the asyncio TCP gossip backend and chain sync over real sockets.
+
+Everything here runs real ``127.0.0.1`` connections inside ``asyncio.run``;
+timeouts are kept short but generous enough for a loaded CI worker.  The
+*deterministic* behavior of the shared consensus code is pinned separately
+by ``tests/test_transport_parity.py`` — these tests assert delivery,
+reconnection and sync *semantics*, not timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import make_transaction
+from repro.consensus.base import RunContext
+from repro.consensus.powfamily import MiningNode, themis_config
+from repro.errors import NetworkError
+from repro.live.clock import LiveClock
+from repro.live.localnet import free_ports
+from repro.live.manifest import ConsortiumManifest, localhost_manifest
+from repro.live.transport import TcpGossipTransport
+from repro.mining.oracle import MiningOracle
+from repro.net.message import KIND_TX, Message
+from repro.node.sync import SyncConfig
+from repro.sim.fleet import build_mining_fleet, run_fleet_to_height
+
+from tests.conftest import keypair
+
+
+def _tx_message(origin: int) -> Message:
+    tx = make_transaction(keypair(origin), keypair(9).public.fingerprint(), 1, 0)
+    return Message(kind=KIND_TX, payload=tx, body_size=tx.size, origin=origin)
+
+
+async def _start_transports(
+    manifest: ConsortiumManifest, node_ids: list[int]
+) -> dict[int, TcpGossipTransport]:
+    transports = {}
+    for node_id in node_ids:
+        transport = TcpGossipTransport(
+            manifest=manifest,
+            node_id=node_id,
+            clock=LiveClock(seed=node_id),
+            dial_timeout=0.5,
+        )
+        await transport.start()
+        transports[node_id] = transport
+    return transports
+
+
+async def _stop_all(transports: dict[int, TcpGossipTransport]) -> None:
+    for transport in transports.values():
+        await transport.stop()
+
+
+async def _wait_until(predicate, timeout: float, interval: float = 0.02) -> bool:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+class TestDelivery:
+    def test_unicast_between_two_transports(self):
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(2))
+            transports = await _start_transports(manifest, [0, 1])
+            received: list[tuple[int, Message]] = []
+            transports[1].attach(1, lambda msg, peer: received.append((peer, msg)))
+            try:
+                message = _tx_message(0)
+                transports[0].unicast(0, 1, message)
+                assert await _wait_until(lambda: received, timeout=5.0)
+                from_peer, delivered = received[0]
+                assert from_peer == 0
+                assert delivered.payload == message.payload
+                assert (delivered.origin, delivered.msg_id) == (0, message.msg_id)
+                assert transports[0].stats.messages_sent == 1
+                assert transports[1].stats.messages_delivered == 1
+            finally:
+                await _stop_all(transports)
+
+        asyncio.run(run())
+
+    def test_gossip_reaches_every_peer_exactly_once(self):
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(3))
+            transports = await _start_transports(manifest, [0, 1, 2])
+            processed: dict[int, list[int]] = {1: [], 2: []}
+
+            def handler_for(node_id: int):
+                def handler(message: Message, from_peer: int) -> None:
+                    if transports[node_id].gossip_deliver(
+                        node_id, from_peer, message
+                    ):
+                        processed[node_id].append(message.msg_id)
+
+                return handler
+
+            for node_id in (1, 2):
+                transports[node_id].attach(node_id, handler_for(node_id))
+            try:
+                message = _tx_message(0)
+                transports[0].gossip(0, message)
+                assert await _wait_until(
+                    lambda: all(processed.values()), timeout=5.0
+                )
+                # Let the forwarded duplicates (1→2 and 2→1) arrive too, then
+                # check dedup swallowed them.
+                await asyncio.sleep(0.3)
+                assert processed[1] == [message.msg_id]
+                assert processed[2] == [message.msg_id]
+            finally:
+                await _stop_all(transports)
+
+        asyncio.run(run())
+
+    def test_offline_and_drop_filter_are_counted_drops(self):
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(2))
+            transports = await _start_transports(manifest, [0])
+            try:
+                transports[0].set_offline(0, True)
+                transports[0].unicast(0, 1, _tx_message(0))
+                assert transports[0].stats.drops_by_reason["offline"] == 1
+                transports[0].set_offline(0, False)
+
+                transports[0].set_drop_filter(0, lambda message: True)
+                transports[0].unicast(0, 1, _tx_message(0))
+                assert transports[0].stats.drops_by_reason["filtered"] == 1
+                assert transports[0].stats.messages_sent == 0
+            finally:
+                await _stop_all(transports)
+
+        asyncio.run(run())
+
+    def test_overlay_global_faults_are_rejected(self):
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(2))
+            transport = TcpGossipTransport(
+                manifest=manifest, node_id=0, clock=LiveClock(seed=0)
+            )
+            with pytest.raises(NetworkError, match="partition"):
+                transport.set_partition([[0], [1]])
+            with pytest.raises(NetworkError, match="disturbance"):
+                transport.set_link_disturbance("storm", None)
+            with pytest.raises(NetworkError, match="attach"):
+                transport.attach(1, lambda msg, peer: None)
+
+        asyncio.run(run())
+
+
+class TestReconnect:
+    def test_backoff_retries_until_late_server_appears(self):
+        async def run() -> None:
+            ports = free_ports(2)
+            manifest = localhost_manifest(ports=ports)
+            dialer = TcpGossipTransport(
+                manifest=manifest,
+                node_id=0,
+                clock=LiveClock(seed=0),
+                dial_timeout=0.3,
+                backoff_base=0.05,
+                backoff_max=0.2,
+            )
+            await dialer.start()
+            try:
+                # Peer 1 is not listening yet: dialing must fail and retry.
+                assert not await dialer.wait_connected(1, timeout=0.6)
+                assert dialer.reconnects >= 1
+                assert dialer.connected_peers() == []
+
+                late = TcpGossipTransport(
+                    manifest=manifest, node_id=1, clock=LiveClock(seed=1)
+                )
+                await late.start()
+                received: list[Message] = []
+                late.attach(1, lambda msg, peer: received.append(msg))
+                try:
+                    assert await dialer.wait_connected(1, timeout=5.0)
+                    assert dialer.connected_peers() == [1]
+                    dialer.unicast(0, 1, _tx_message(0))
+                    assert await _wait_until(lambda: received, timeout=5.0)
+                finally:
+                    await late.stop()
+            finally:
+                await dialer.stop()
+
+        asyncio.run(run())
+
+
+def _live_node(
+    manifest: ConsortiumManifest,
+    node_id: int,
+    transport: TcpGossipTransport,
+    clock: LiveClock,
+    sync: SyncConfig,
+) -> MiningNode:
+    keys = manifest.keypairs()
+    ctx = RunContext(
+        sim=clock,
+        network=transport,
+        oracle=MiningOracle(clock.rng, manifest.difficulty_params().t0),
+        genesis=make_genesis(),
+        params=manifest.difficulty_params(),
+        members=manifest.members(),
+    )
+    return MiningNode(node_id, keys[node_id], ctx, themis_config(sync=sync))
+
+
+def _mined_chain(n: int, height: int):
+    """A sim-mined chain whose parameters match :func:`localhost_manifest`."""
+    ctx, nodes = build_mining_fleet(n=n, seed=7, i0=2.0)
+    run_fleet_to_height(ctx, nodes, height=height)
+    return nodes[0].main_chain()
+
+
+class TestSyncOverTcp:
+    def test_stale_node_catches_up_via_sync(self):
+        chain = _mined_chain(n=2, height=6)
+
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(2), i0=2.0)
+            transports = await _start_transports(manifest, [0, 1])
+            sync = SyncConfig(timeout=2.0, max_retries=2)
+            server = _live_node(
+                manifest, 0, transports[0], LiveClock(seed=0), sync
+            )
+            stale = _live_node(
+                manifest, 1, transports[1], LiveClock(seed=1), sync
+            )
+            for block in chain[1:]:
+                server._handle_block(block)
+            assert server.state.height() == 6
+            assert stale.state.height() == 0
+            try:
+                stale.request_sync(peer=0)
+                assert await _wait_until(
+                    lambda: stale.state.height() == 6, timeout=10.0
+                )
+                assert stale.state.head_id == server.state.head_id
+                assert stale.sync.stats.syncs_completed == 1
+                assert stale.sync.stats.blocks_received == 6
+            finally:
+                await _stop_all(transports)
+
+        asyncio.run(run())
+
+    def test_timeout_rotates_away_from_dead_peer(self):
+        chain = _mined_chain(n=3, height=4)
+
+        async def run() -> None:
+            manifest = localhost_manifest(ports=free_ports(3), i0=2.0)
+            # Peer 2 never starts: requests to it must time out, and the
+            # retry must rotate to the live peer 0.
+            transports = await _start_transports(manifest, [0, 1])
+            sync = SyncConfig(timeout=0.3, backoff=1.0, max_retries=3)
+            server = _live_node(
+                manifest, 0, transports[0], LiveClock(seed=0), sync
+            )
+            stale = _live_node(
+                manifest, 1, transports[1], LiveClock(seed=1), sync
+            )
+            for block in chain[1:]:
+                server._handle_block(block)
+            try:
+                stale.request_sync(peer=2)
+                assert await _wait_until(
+                    lambda: stale.state.height() == 4, timeout=10.0
+                )
+                assert stale.sync.stats.timeouts >= 1
+                assert stale.sync.stats.retries >= 1
+                assert stale.sync.stats.syncs_completed == 1
+            finally:
+                await _stop_all(transports)
+
+        asyncio.run(run())

@@ -1,0 +1,106 @@
+"""Tests for the consortium manifest and the localnet cluster driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.live.localnet import (
+    LocalnetConfig,
+    LocalnetError,
+    common_prefix_height,
+    free_ports,
+    run_localnet,
+)
+from repro.live.manifest import (
+    ConsortiumManifest,
+    PeerSpec,
+    localhost_manifest,
+)
+from repro.sim.fleet import build_mining_fleet
+
+
+class TestManifest:
+    def test_round_trips_through_file(self, tmp_path):
+        manifest = localhost_manifest(ports=[9001, 9002, 9003], seed=5, i0=0.5)
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        assert ConsortiumManifest.load(path) == manifest
+
+    def test_load_failure_is_a_network_error(self, tmp_path):
+        with pytest.raises(NetworkError, match="cannot load"):
+            ConsortiumManifest.load(tmp_path / "missing.json")
+
+    def test_peer_ids_must_be_dense(self):
+        with pytest.raises(NetworkError, match="0..n-1"):
+            ConsortiumManifest(
+                peers=(
+                    PeerSpec(node_id=0, host="127.0.0.1", port=9001),
+                    PeerSpec(node_id=2, host="127.0.0.1", port=9002),
+                )
+            )
+
+    def test_node_seeds_are_disjoint_per_member(self):
+        manifest = localhost_manifest(ports=[9001, 9002], seed=3)
+        seeds = {manifest.node_seed(i) for i in range(manifest.n)}
+        assert len(seeds) == manifest.n
+
+    def test_members_match_simulator_fleet_identities(self):
+        # Live and simulated deployments must derive the same consortium
+        # membership from the same seed material, or signed artifacts would
+        # not transfer between modes.
+        manifest = localhost_manifest(ports=list(range(9001, 9007)))
+        ctx, _ = build_mining_fleet(n=6, seed=0)
+        assert manifest.members() == ctx.members
+
+    def test_adjacency_matches_simulator_topology_rules(self):
+        small = localhost_manifest(ports=list(range(9001, 9005)))
+        assert all(
+            sorted(small.adjacency()[i]) == [j for j in range(4) if j != i]
+            for i in range(4)
+        )
+        big = localhost_manifest(ports=list(range(9001, 9011)), degree=3)
+        assert all(len(big.adjacency()[i]) >= 3 for i in range(10))
+
+
+class TestDriverPieces:
+    def test_free_ports_are_distinct(self):
+        ports = free_ports(8)
+        assert len(set(ports)) == 8
+
+    def test_config_validation(self):
+        with pytest.raises(LocalnetError, match="two nodes"):
+            LocalnetConfig(nodes=1)
+        with pytest.raises(LocalnetError, match="target_height"):
+            LocalnetConfig(target_height=0)
+        with pytest.raises(LocalnetError, match="deadline"):
+            LocalnetConfig(deadline=0.0)
+
+    def test_common_prefix_height(self):
+        a = [["g", 0], ["b1", 2], ["b2", 1], ["b3", 4]]
+        b = [["g", 0], ["b1", 2], ["b2", 1]]
+        c = [["g", 0], ["b1", 2], ["x2", 9]]
+        assert common_prefix_height([a, b]) == 2
+        assert common_prefix_height([a, b, c]) == 1
+        assert common_prefix_height([a]) == 3
+        assert common_prefix_height([]) == 0
+        assert common_prefix_height([[["g", 0]], a]) == 0
+
+
+class TestEndToEnd:
+    def test_three_node_cluster_converges(self):
+        report = run_localnet(
+            LocalnetConfig(
+                nodes=3,
+                target_height=2,
+                deadline=45.0,
+                tx_rate=10.0,
+                i0=0.3,
+            )
+        )
+        assert report.converged, report.summary()
+        assert report.common_height >= 2
+        assert report.committed_txs >= 0
+        assert report.tps >= 0.0
+        assert sorted(report.node_heights) == [0, 1, 2]
+        assert "CONVERGED" in report.summary()

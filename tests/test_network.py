@@ -14,7 +14,7 @@ from repro.net.topology import complete_topology, ring_topology
 
 def make_net(n: int = 4, topology=None, link=None, seed: int = 0):
     sim = Simulator(seed=seed)
-    net = SimulatedNetwork(sim, topology or complete_topology(n), link or LinkModel())
+    net = SimulatedNetwork(sim=sim, adjacency=topology or complete_topology(n), link=link or LinkModel())
     return sim, net
 
 

@@ -16,7 +16,8 @@ from repro.net.topology import complete_topology
 def make_net(n=3, seed=0, jitter=0.0, min_delay=0.05):
     sim = Simulator(seed=seed)
     network = SimulatedNetwork(
-        sim, complete_topology(n), LinkModel(jitter=jitter, min_delay=min_delay)
+        sim=sim, adjacency=complete_topology(n),
+        link=LinkModel(jitter=jitter, min_delay=min_delay),
     )
     delivered: dict[int, list[Message]] = {i: [] for i in range(n)}
     for i in range(n):
@@ -159,7 +160,7 @@ class TestGossipDedupUnderFaults:
     def _gossip_net(self, n=4, seed=0, disturbance=None):
         sim = Simulator(seed=seed)
         network = SimulatedNetwork(
-            sim, complete_topology(n), LinkModel(jitter=0.01)
+            sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=0.01)
         )
         processed: dict[int, list[int]] = {i: [] for i in range(n)}
 

@@ -23,7 +23,7 @@ class TestPartitionMechanics:
         from repro.net.topology import complete_topology
 
         sim = Simulator()
-        net = SimulatedNetwork(sim, complete_topology(4), LinkModel())
+        net = SimulatedNetwork(sim=sim, adjacency=complete_topology(4), link=LinkModel())
         got = []
         for i in range(4):
             net.attach(i, lambda m, f, i=i: got.append(i))
@@ -43,7 +43,7 @@ class TestPartitionMechanics:
         from repro.net.simulator import Simulator
         from repro.net.topology import complete_topology
 
-        net = SimulatedNetwork(Simulator(), complete_topology(4), LinkModel())
+        net = SimulatedNetwork(sim=Simulator(), adjacency=complete_topology(4), link=LinkModel())
         with pytest.raises(NetworkError):
             net.set_partition([[0, 1], [1, 2]])
 

@@ -20,7 +20,7 @@ from tests.conftest import keypair
 
 def make_cluster(n: int = 4, seed: int = 0, config: PBFTConfig | None = None):
     sim = Simulator(seed=seed)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel())
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel())
     keys = [keypair(i) for i in range(n)] if n <= 8 else None
     if keys is None:
         from repro.crypto.keys import KeyPair

@@ -26,7 +26,7 @@ from tests.conftest import keypair
 
 def make_fleet(n=4, configs=None, seed=0, beta=1.0, i0=5.0, jitter=0.01):
     sim = Simulator(seed=seed)
-    network = SimulatedNetwork(sim, complete_topology(n), LinkModel(jitter=jitter))
+    network = SimulatedNetwork(sim=sim, adjacency=complete_topology(n), link=LinkModel(jitter=jitter))
     params = DifficultyParams(i0=i0, h0=1.0, beta=beta)
     keys = [keypair(i) for i in range(n)]
     ctx = RunContext(

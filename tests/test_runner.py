@@ -9,7 +9,6 @@ from repro.sim.scenarios import (
     ALL_ALGORITHMS,
     attack_spec,
     epoch_length_spec,
-    equality_scenario,
     equality_spec,
     fork_spec,
     scalability_spec,
@@ -83,11 +82,6 @@ class TestScenarios:
         assert attack.vulnerable_ratio == 0.16
         assert fork_spec(algorithms=("pow-h",)).grid[0].i0 == 4.0
         assert epoch_length_spec(betas=(7.0,)).grid[0].beta == 7.0
-
-    def test_deprecated_scenario_wrapper(self):
-        with pytest.warns(DeprecationWarning, match="equality_scenario"):
-            legacy = equality_scenario("themis")
-        assert legacy == equality_spec(algorithms=("themis",)).grid[0]
 
     def test_epoch_blocks_property(self):
         result = run_experiment(small("themis"))

@@ -9,16 +9,11 @@ from repro.sim.runner import ExperimentConfig, run_experiment
 from repro.sim.scenarios import (
     SCENARIOS,
     ScenarioSpec,
-    attack_scenario,
     attack_spec,
-    epoch_length_scenario,
     epoch_length_spec,
-    equality_scenario,
     equality_spec,
-    fork_scenario,
     fork_spec,
     metric_tps,
-    scalability_scenario,
     scalability_spec,
 )
 
@@ -98,40 +93,3 @@ class TestBuilders:
         assert by_beta[16.0] == 6
 
 
-class TestDeprecatedWrappers:
-    @pytest.mark.parametrize(
-        "wrapper,builder_equiv",
-        [
-            (
-                lambda: equality_scenario("themis", seed=3, n=10, epochs=4),
-                lambda: equality_spec(
-                    n=10, epochs=4, seed=3, algorithms=("themis",)
-                ).grid[0],
-            ),
-            (
-                lambda: scalability_scenario("pbft", 16, seed=2),
-                lambda: scalability_spec(
-                    ns=(16,), seed=2, algorithms=("pbft",)
-                ).grid[0],
-            ),
-            (
-                lambda: attack_scenario("pow-h", 0.16, seed=1, n=12),
-                lambda: attack_spec(
-                    ratios=(0.16,), n=12, seed=1, algorithms=("pow-h",)
-                ).grid[0],
-            ),
-            (
-                lambda: fork_scenario("themis-lite", seed=4, n=12),
-                lambda: fork_spec(n=12, seed=4, algorithms=("themis-lite",)).grid[0],
-            ),
-            (
-                lambda: epoch_length_scenario(7.0, seed=1, n=10),
-                lambda: epoch_length_spec(betas=(7.0,), n=10, seed=1).grid[0],
-            ),
-        ],
-        ids=["equality", "scalability", "attack", "fork", "epoch_length"],
-    )
-    def test_wrappers_warn_and_match_builders(self, wrapper, builder_equiv):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = wrapper()
-        assert legacy == builder_equiv()

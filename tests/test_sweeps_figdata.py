@@ -11,7 +11,6 @@ from repro.sim.scenarios import equality_spec
 from repro.sim.sweeps import (
     SweepSummary,
     compare_algorithms,
-    seed_sweep,
     summarize,
     sweep,
 )
@@ -75,14 +74,6 @@ class TestSweep:
         base = ExperimentConfig(algorithm="themis", n=8)
         with pytest.raises(SimulationError):
             sweep(experiment=base, seeds=[])
-
-    def test_seed_sweep_wrapper_warns_and_matches(self):
-        base = ExperimentConfig(algorithm="themis", n=8, epochs=2)
-        with pytest.warns(DeprecationWarning, match="seed_sweep"):
-            legacy = seed_sweep(base, seeds=[1])
-        modern = sweep(experiment=base, seeds=[1])
-        assert legacy[0].config == modern[0].config
-        assert legacy[0].tps == modern[0].tps
 
     def test_compare_algorithms(self):
         base = ExperimentConfig(algorithm="themis", n=8, epochs=2, pbft_rounds=16)

@@ -1,0 +1,115 @@
+"""Transport-refactor parity: the protocol split must not move a single byte.
+
+The golden hash below was captured on the pre-refactor tree (concrete
+``Simulator``/``SimulatedNetwork`` types wired straight into the nodes).
+If the ``Transport``/``Clock`` protocol extraction — or any later backend
+work — perturbs the simulated schedule by even one event, the fixed-seed
+chain hash changes and this suite fails.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+
+from repro.live.clock import LiveClock
+from repro.live.manifest import localhost_manifest
+from repro.live.transport import TcpGossipTransport
+from repro.net.clock import Clock
+from repro.net.network import SimulatedNetwork
+from repro.net.simulator import Simulator
+from repro.net.topology import complete_topology
+from repro.net.transport import FaultableTransport, NetworkStats, Transport
+from repro.sim.fleet import build_mining_fleet, run_fleet_to_height
+
+#: sha256 over the concatenated canonical bytes of the height-30 main chain
+#: of ``build_mining_fleet(n=6, seed=42, i0=2.0)``, captured pre-refactor.
+GOLDEN_CHAIN_SHA256 = "c34de878b1fd6491e9d5a94297fcb263d0a4d080774abf3a4d4409f0236c0bfe"
+
+
+def _chain_hash() -> str:
+    ctx, nodes = build_mining_fleet(n=6, seed=42, i0=2.0)
+    run_fleet_to_height(ctx, nodes, height=30)
+    blob = b"".join(block.to_bytes() for block in nodes[0].main_chain())
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestGoldenParity:
+    def test_fixed_seed_chain_is_byte_identical_to_pre_refactor(self):
+        assert _chain_hash() == GOLDEN_CHAIN_SHA256
+
+    def test_repeat_run_is_byte_identical(self):
+        assert _chain_hash() == _chain_hash()
+
+
+class TestProtocolConformance:
+    def test_simulated_backend_satisfies_both_protocols(self):
+        sim = Simulator(seed=0)
+        network = SimulatedNetwork(sim=sim, adjacency=complete_topology(3))
+        assert isinstance(network, Transport)
+        assert isinstance(network, FaultableTransport)
+
+    def test_simulator_satisfies_clock(self):
+        assert isinstance(Simulator(seed=0), Clock)
+
+    def test_live_backend_satisfies_transport(self):
+        async def check() -> tuple[bool, bool]:
+            manifest = localhost_manifest(ports=[20001, 20002])
+            clock = LiveClock(seed=0)
+            transport = TcpGossipTransport(
+                manifest=manifest, node_id=0, clock=clock
+            )
+            return isinstance(transport, Transport), isinstance(clock, Clock)
+
+        is_transport, is_clock = asyncio.run(check())
+        assert is_transport
+        assert is_clock
+
+
+class TestNetworkStatsSerde:
+    """Regression: defaultdict counters used to poison JSON round-trips.
+
+    Merely *reading* an absent key of a ``defaultdict`` materializes a zero
+    entry, so two observably identical stats objects could serialize to
+    different dicts (and a round-trip could gain keys).  ``to_dict`` /
+    ``from_dict`` normalize away the zeros and ``__eq__`` compares the
+    normalized forms.
+    """
+
+    def _stats(self) -> NetworkStats:
+        stats = NetworkStats()
+        stats.record_send("block", 700)
+        stats.record_send("tx", 512)
+        stats.record_drop("offline")
+        stats.messages_delivered = 2
+        return stats
+
+    def test_round_trip_exact(self):
+        stats = self._stats()
+        assert NetworkStats.from_dict(stats.to_dict()) == stats
+
+    def test_round_trip_through_json_text(self):
+        stats = self._stats()
+        restored = NetworkStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert restored == stats
+
+    def test_materialized_zero_entries_do_not_leak(self):
+        stats = self._stats()
+        # A read of an absent kind materializes bytes_by_kind["pbft/vote"]=0.
+        assert stats.bytes_by_kind["pbft/vote"] == 0
+        record = stats.to_dict()
+        assert "pbft/vote" not in record["bytes_by_kind"]
+        assert NetworkStats.from_dict(record) == stats
+
+    def test_equality_ignores_materialized_zeros(self):
+        a, b = self._stats(), self._stats()
+        assert a.drops_by_reason["partition"] == 0  # materialize on one side
+        assert a == b
+        b.record_drop("partition")
+        assert a != b
+
+    def test_counters_stay_incrementable_after_from_dict(self):
+        restored = NetworkStats.from_dict(self._stats().to_dict())
+        restored.record_drop("filtered")  # defaultdict behavior preserved
+        assert restored.drops_by_reason["filtered"] == 1

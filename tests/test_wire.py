@@ -1,0 +1,186 @@
+"""Tests for the live wire format: payload codecs, envelope, stream framing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import build_block
+from repro.chain.genesis import make_genesis
+from repro.chain.transaction import make_transaction
+from repro.errors import CodecError
+from repro.net.message import (
+    KIND_BLOCK,
+    KIND_SYNC_BLOCKS_REQUEST,
+    KIND_SYNC_BLOCKS_RESPONSE,
+    KIND_SYNC_HEADERS_REQUEST,
+    KIND_SYNC_HEADERS_RESPONSE,
+    KIND_TX,
+    Message,
+)
+from repro.net.wire import (
+    FRAME_HEADER_BYTES,
+    KIND_HELLO,
+    MAX_FRAME,
+    FrameDecoder,
+    decode_message,
+    encode_message,
+    frame,
+)
+
+from tests.conftest import keypair
+
+
+def _tx(nonce: int = 0):
+    return make_transaction(keypair(0), keypair(1).public.fingerprint(), 5, nonce)
+
+
+def _block(height: int = 1):
+    genesis = make_genesis()
+    return build_block(
+        keypair(0),
+        parent_hash=genesis.block_id,
+        height=height,
+        transactions=[_tx(0), _tx(1)],
+        timestamp=3.25,
+        difficulty_multiple=2.0,
+        base_difficulty=10.0,
+        epoch=0,
+    )
+
+
+def _roundtrip(message: Message) -> Message:
+    return decode_message(encode_message(message))
+
+
+class TestMessageRoundTrip:
+    def test_block(self):
+        block = _block()
+        msg = Message(
+            kind=KIND_BLOCK, payload=block, body_size=block.size, origin=3
+        )
+        back = _roundtrip(msg)
+        assert back.kind == KIND_BLOCK
+        assert back.payload == block
+        assert back.payload.block_id == block.block_id
+
+    def test_tx(self):
+        tx = _tx()
+        msg = Message(kind=KIND_TX, payload=tx, body_size=tx.size, origin=1)
+        assert _roundtrip(msg).payload == tx
+
+    def test_hello(self):
+        msg = Message(
+            kind=KIND_HELLO, payload={"node_id": 7}, body_size=8, origin=7
+        )
+        assert _roundtrip(msg).payload == {"node_id": 7}
+
+    def test_headers_request(self):
+        payload = {"request_id": "r-1", "locator": [b"\x01" * 32, b"\x02" * 32]}
+        msg = Message(
+            kind=KIND_SYNC_HEADERS_REQUEST, payload=payload, body_size=80, origin=0
+        )
+        assert _roundtrip(msg).payload == payload
+
+    def test_headers_response(self):
+        payload = {
+            "request_id": "r-1",
+            "start_height": 4,
+            "ids": [b"\x0a" * 32],
+            "full": True,
+        }
+        msg = Message(
+            kind=KIND_SYNC_HEADERS_RESPONSE, payload=payload, body_size=48, origin=2
+        )
+        assert _roundtrip(msg).payload == payload
+
+    def test_blocks_request(self):
+        payload = {"request_id": "r-2", "ids": [b"\x0b" * 32, b"\x0c" * 32]}
+        msg = Message(
+            kind=KIND_SYNC_BLOCKS_REQUEST, payload=payload, body_size=72, origin=5
+        )
+        assert _roundtrip(msg).payload == payload
+
+    def test_blocks_response(self):
+        block = _block()
+        payload = {"request_id": "r-2", "blocks": [block]}
+        msg = Message(
+            kind=KIND_SYNC_BLOCKS_RESPONSE,
+            payload=payload,
+            body_size=block.size,
+            origin=5,
+        )
+        back = _roundtrip(msg)
+        assert back.payload["request_id"] == "r-2"
+        assert back.payload["blocks"] == [block]
+
+    def test_envelope_preserves_identity(self):
+        # Live gossip dedups on (origin, msg_id): the decoder must keep the
+        # sender's counter value instead of drawing a fresh local one.
+        msg = Message(
+            kind=KIND_HELLO, payload={"node_id": 1}, body_size=8, origin=1, msg_id=991
+        )
+        back = _roundtrip(msg)
+        assert (back.origin, back.msg_id) == (1, 991)
+        assert back.body_size == 8
+
+    def test_unknown_kind_rejected_on_encode(self):
+        msg = Message(kind="pbft/prepare", payload=object(), body_size=10, origin=0)
+        with pytest.raises(CodecError, match="pbft/prepare"):
+            encode_message(msg)
+
+    def test_trailing_bytes_rejected(self):
+        body = encode_message(
+            Message(kind=KIND_HELLO, payload={"node_id": 1}, body_size=8, origin=1)
+        )
+        with pytest.raises(CodecError):
+            decode_message(body + b"\x00")
+
+
+class TestFraming:
+    def _hello_body(self, node_id: int = 0) -> bytes:
+        return encode_message(
+            Message(
+                kind=KIND_HELLO,
+                payload={"node_id": node_id},
+                body_size=8,
+                origin=node_id,
+            )
+        )
+
+    def test_frame_prefixes_length(self):
+        body = self._hello_body()
+        framed = frame(body)
+        assert framed[:FRAME_HEADER_BYTES] == len(body).to_bytes(4, "big")
+        assert framed[FRAME_HEADER_BYTES:] == body
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(CodecError, match="MAX_FRAME"):
+            frame(b"\x00" * (MAX_FRAME + 1))
+
+    def test_decoder_reassembles_byte_by_byte(self):
+        bodies = [self._hello_body(i) for i in range(3)]
+        stream = b"".join(frame(b) for b in bodies)
+        decoder = FrameDecoder()
+        out: list[bytes] = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == bodies
+        assert decoder.pending == 0
+
+    def test_decoder_handles_coalesced_frames(self):
+        bodies = [self._hello_body(i) for i in range(4)]
+        stream = b"".join(frame(b) for b in bodies)
+        assert FrameDecoder().feed(stream) == bodies
+
+    def test_decoder_buffers_partial_frame(self):
+        framed = frame(self._hello_body())
+        decoder = FrameDecoder()
+        assert decoder.feed(framed[:-1]) == []
+        assert decoder.pending == len(framed) - 1
+        assert decoder.feed(framed[-1:]) == [framed[FRAME_HEADER_BYTES:]]
+
+    def test_decoder_rejects_hostile_length_before_buffering(self):
+        hostile = (MAX_FRAME + 1).to_bytes(4, "big")
+        decoder = FrameDecoder()
+        with pytest.raises(CodecError, match="MAX_FRAME"):
+            decoder.feed(hostile)
