@@ -1,0 +1,262 @@
+"""Core microbenchmark suite: per-event, per-block and figure-grid cost.
+
+Times direct ``run_experiment`` executions (no engine, no cache, no process
+pool) of the standard equality/scalability scenarios, so the numbers isolate
+the *simulation core*: event loop, gossip dispatch, block-tree maintenance,
+difficulty tables and the mining oracle.  ``BENCH_engine.json`` already
+showed that fan-out cannot rescue a slow core (0.75x on a 1-core host); this
+suite is the yardstick every core optimization must move.
+
+Two grids:
+
+* ``standard`` — the committed-baseline grid: Themis at n = 10/20/40 over
+  two seeds plus one Themis-Lite and one PoW-H run (the Fig. 4-6 axes in
+  miniature).  ``BENCH_core.json`` records this grid.
+* ``smoke`` — a reduced grid for CI: two short Themis runs.  The CI job
+  compares its per-event cost against the committed baseline and fails on a
+  >2x regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py --grid standard --out BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core.py --grid smoke --check BENCH_core.json
+
+Determinism: for every run the report records the event count, committed
+blocks and the head block id.  Two invocations with the same grid must agree
+on all three (timings excluded); ``tests/test_bench_core.py`` asserts this
+and the golden fixed-seed chain hash in ``tests/test_transport_parity.py``
+pins the optimized path byte-identical to the pre-optimization reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.runner import ExperimentConfig, run_experiment
+
+#: Report format version (bump on schema changes).
+SCHEMA_VERSION = 1
+
+#: CI gate: fail when per-event cost exceeds ``factor`` times the baseline.
+DEFAULT_REGRESSION_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One benchmark run of the grid."""
+
+    algorithm: str
+    n: int
+    seed: int
+    epochs: int
+
+    def config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            algorithm=self.algorithm,  # type: ignore[arg-type]
+            n=self.n,
+            seed=self.seed,
+            epochs=self.epochs,
+        )
+
+
+GRIDS: dict[str, tuple[GridSpec, ...]] = {
+    # The standard figure grid: the equality/scalability axes (Fig. 4-6) in
+    # miniature -- three sizes x two seeds of Themis, plus one run of each
+    # baseline algorithm so the suite covers all PoW-family code paths.
+    "standard": (
+        GridSpec("themis", 10, 0, 2),
+        GridSpec("themis", 10, 1, 2),
+        GridSpec("themis", 20, 0, 2),
+        GridSpec("themis", 20, 1, 2),
+        GridSpec("themis", 40, 0, 2),
+        GridSpec("themis", 40, 1, 2),
+        GridSpec("themis-lite", 20, 0, 2),
+        GridSpec("pow-h", 20, 0, 2),
+    ),
+    # Reduced grid for the CI smoke job.
+    "smoke": (
+        GridSpec("themis", 10, 0, 2),
+        GridSpec("themis", 20, 0, 2),
+    ),
+}
+
+
+def run_grid(specs: tuple[GridSpec, ...]) -> list[dict]:
+    """Execute each grid run and collect cost + determinism records."""
+    records: list[dict] = []
+    for spec in specs:
+        start = time.perf_counter()
+        result = run_experiment(spec.config())
+        wall = time.perf_counter() - start
+        observer = result.observer
+        assert observer is not None  # PoW-family runs always have one
+        events = observer.ctx.sim.events_processed
+        blocks = observer.state.height()
+        records.append(
+            {
+                "algorithm": spec.algorithm,
+                "n": spec.n,
+                "seed": spec.seed,
+                "epochs": spec.epochs,
+                "wall_s": round(wall, 3),
+                "events": events,
+                "blocks": blocks,
+                "head": observer.state.head_id.hex(),
+                "per_event_us": round(wall / events * 1e6, 3),
+                "per_block_ms": round(wall / blocks * 1e3, 3),
+            }
+        )
+        print(
+            f"  {spec.algorithm:<11} n={spec.n:<3} seed={spec.seed} "
+            f"{wall:6.2f}s  {events:>8} events  "
+            f"{wall / events * 1e6:7.2f} us/event",
+            file=sys.stderr,
+        )
+    return records
+
+
+def totals(records: list[dict]) -> dict:
+    wall = sum(r["wall_s"] for r in records)
+    events = sum(r["events"] for r in records)
+    blocks = sum(r["blocks"] for r in records)
+    return {
+        "wall_s": round(wall, 3),
+        "events": events,
+        "blocks": blocks,
+        "per_event_us": round(wall / events * 1e6, 3),
+        "per_block_ms": round(wall / blocks * 1e3, 3),
+    }
+
+
+def build_report(grid: str, records: list[dict]) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "grid": grid,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "runs": records,
+        "totals": totals(records),
+    }
+
+
+def attach_baseline(report: dict, baseline: dict) -> None:
+    """Fold a pre-optimization report in and compute the speedup ratios."""
+    base_totals = baseline["totals"]
+    report["baseline"] = {
+        "grid": baseline.get("grid"),
+        "host": baseline.get("host"),
+        "totals": base_totals,
+    }
+    current = report["totals"]
+    report["speedup"] = {
+        "wall": round(base_totals["wall_s"] / current["wall_s"], 2),
+        "per_event": round(
+            base_totals["per_event_us"] / current["per_event_us"], 2
+        ),
+        "per_block": round(
+            base_totals["per_block_ms"] / current["per_block_ms"], 2
+        ),
+    }
+
+
+def check_regression(report: dict, committed: dict, factor: float) -> bool:
+    """CI gate: current per-event cost must stay within ``factor`` x baseline.
+
+    Compares per-event cost of the current run against the committed
+    ``BENCH_core.json``; host differences are what the 2x headroom absorbs.
+    When the committed report contains the current grid's runs (the smoke
+    grid is a subset of the standard grid), the baseline is recomputed over
+    exactly those runs so small-run fixed costs don't eat into the headroom.
+    """
+    current = report["totals"]["per_event_us"]
+    spec_keys = {
+        (r["algorithm"], r["n"], r["seed"], r["epochs"]) for r in report["runs"]
+    }
+    matching = [
+        r
+        for r in committed.get("runs", [])
+        if (r["algorithm"], r["n"], r["seed"], r["epochs"]) in spec_keys
+    ]
+    if len(matching) == len(spec_keys):
+        baseline = totals(matching)["per_event_us"]
+    else:
+        baseline = committed["totals"]["per_event_us"]
+    limit = baseline * factor
+    ok = current <= limit
+    verdict = "OK" if ok else "REGRESSION"
+    print(
+        f"per-event cost {current:.2f} us vs committed {baseline:.2f} us "
+        f"(limit {limit:.2f} us, factor {factor}x): {verdict}",
+        file=sys.stderr,
+    )
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="standard")
+    parser.add_argument("--out", type=str, default=None, help="write report JSON here")
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="pre-optimization report; folded into the output with speedups",
+    )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        help="committed report to gate against (CI regression check)",
+    )
+    parser.add_argument(
+        "--check-factor",
+        type=float,
+        default=DEFAULT_REGRESSION_FACTOR,
+        help="allowed per-event cost ratio vs the committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    specs = GRIDS[args.grid]
+    print(f"grid '{args.grid}': {len(specs)} runs", file=sys.stderr)
+    records = run_grid(specs)
+    report = build_report(args.grid, records)
+
+    if args.baseline is not None:
+        attach_baseline(report, json.loads(Path(args.baseline).read_text()))
+        speedup = report["speedup"]
+        print(
+            f"speedup vs baseline: wall x{speedup['wall']}, "
+            f"per-event x{speedup['per_event']}",
+            file=sys.stderr,
+        )
+
+    print(
+        f"totals: {report['totals']['wall_s']:.2f}s, "
+        f"{report['totals']['per_event_us']:.2f} us/event, "
+        f"{report['totals']['per_block_ms']:.2f} ms/block",
+        file=sys.stderr,
+    )
+
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check is not None:
+        committed = json.loads(Path(args.check).read_text())
+        if not check_regression(report, committed, args.check_factor):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

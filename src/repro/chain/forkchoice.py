@@ -43,7 +43,7 @@ class ForkChoiceRule(ABC):
         """
         cursor = start if start is not None else tree.genesis_id
         while True:
-            children = tree.children(cursor)
+            children = tree.children_view(cursor)
             if not children:
                 return cursor
             if len(children) == 1:

@@ -42,7 +42,7 @@ def serialize_tree(tree: BlockTree) -> bytes:
 
 
 def deserialize_tree(
-    data: bytes, finality_window: int | None = 64
+    data: bytes, finality_window: int | None = 32
 ) -> BlockTree:
     """Rebuild a block tree from :func:`serialize_tree` output."""
     reader = Reader(data)
@@ -71,6 +71,6 @@ def save_tree(tree: BlockTree, path: str | Path) -> Path:
     return path
 
 
-def load_tree(path: str | Path, finality_window: int | None = 64) -> BlockTree:
+def load_tree(path: str | Path, finality_window: int | None = 32) -> BlockTree:
     """Read a tree back from disk."""
     return deserialize_tree(Path(path).read_bytes(), finality_window=finality_window)

@@ -239,7 +239,7 @@ class InvariantMonitor:
             return
         seen: dict[bytes, int] = {}
         for node in nodes:
-            block_id = node.state.main_chain()[settled_height].block_id
+            block_id = node.state.block_at(settled_height).block_id
             seen.setdefault(block_id, node.node_id)
         if len(seen) > 1:
             owners = ", ".join(

@@ -29,8 +29,8 @@ Two workload modes:
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.chain.block import Block, sign_block
@@ -80,7 +80,11 @@ class MiningNodeConfig:
     verify_signatures: bool = False
     real_pow: bool = False
     execute_ledger: bool = False
-    sync: SyncConfig = SyncConfig()
+    # default_factory, NOT a module-level default instance: a single shared
+    # SyncConfig as the class default would alias every node's sync tuning
+    # to one object (harmless only as long as it stays frozen, and a trap
+    # the moment anyone adds mutable state).
+    sync: SyncConfig = field(default_factory=SyncConfig)
 
 
 def themis_config(**overrides) -> MiningNodeConfig:
@@ -161,10 +165,15 @@ class MiningNode(ConsensusNode):
 
     # -- lifecycle ----------------------------------------------------------------
 
-    def start(self) -> None:
-        """Arm the first mining timer."""
+    def start(self, solve_delay: float | None = None) -> None:
+        """Arm the first mining timer.
+
+        ``solve_delay`` lets :func:`start_mining_fleet` pre-draw the solve
+        time as part of one vectorized oracle batch; when omitted the node
+        samples its own scalar draw.
+        """
         self._started = True
-        self._arm_miner()
+        self._arm_miner(solve_delay)
 
     def stop(self) -> None:
         """Stop mining (the node still relays and validates)."""
@@ -212,14 +221,17 @@ class MiningNode(ConsensusNode):
         multiple, base, _ = self.state.mining_assignment(self.address)
         return multiple * base
 
-    def _arm_miner(self) -> None:
+    def _arm_miner(self, solve_delay: float | None = None) -> None:
         if not self._started:
             return
         if self._mining_handle is not None:
             self._mining_handle.cancel()
-        difficulty = self.current_difficulty()
-        delay = self.ctx.oracle.sample_solve_time(self.config.hash_rate, difficulty)
-        self._mining_handle = self.ctx.sim.schedule(delay, self._produce_block)
+        if solve_delay is None:
+            difficulty = self.current_difficulty()
+            solve_delay = self.ctx.oracle.sample_solve_time(
+                self.config.hash_rate, difficulty
+            )
+        self._mining_handle = self.ctx.sim.schedule(solve_delay, self._produce_block)
 
     def _produce_block(self) -> None:
         """The puzzle is solved: build, adopt and broadcast the block (§III)."""

@@ -116,14 +116,30 @@ class DifficultyTable:
                 raise DifficultyError(
                     f"multiple for {node.hex()[:8]} must be >= 1, got {multiple}"
                 )
+        # Tables are immutable and shared by every lookup of the epoch, so
+        # the per-node total difficulty ``m_i · D_base`` is precomputed once
+        # here; ``difficulty()`` on the mining/validation hot path is then a
+        # dict probe instead of a recomputation.  Stored via
+        # ``object.__setattr__`` (frozen dataclass) as a non-field attribute
+        # so equality, repr and serde stay derived from the declared fields.
+        object.__setattr__(
+            self,
+            "_difficulties",
+            {node: multiple * self.base for node, multiple in self.multiples.items()},
+        )
 
     def multiple(self, node: bytes) -> float:
         """``m_i^e`` for a member (1.0 for nodes without history)."""
         return self.multiples.get(node, MIN_MULTIPLE)
 
     def difficulty(self, node: bytes) -> float:
-        """Total difficulty ``D_i^e = m_i^e · D_base^e`` (§IV-B)."""
-        return self.multiple(node) * self.base
+        """Total difficulty ``D_i^e = m_i^e · D_base^e`` (§IV-B).
+
+        A precomputed per-epoch table lookup; nodes without history fall
+        back to ``1 · D_base``.
+        """
+        cached = self._difficulties.get(node)  # type: ignore[attr-defined]
+        return cached if cached is not None else MIN_MULTIPLE * self.base
 
     @classmethod
     def initial(cls, members: Sequence[bytes], params: DifficultyParams) -> "DifficultyTable":

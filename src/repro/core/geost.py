@@ -127,7 +127,7 @@ class GEOSTRule(ForkChoiceRule):
         cursor = start if start is not None else tree.genesis_id
         prefix = Counter() if prefix is None else Counter(prefix)
         while True:
-            children = tree.children(cursor)
+            children = tree.children_view(cursor)
             if not children:
                 return cursor
             if len(children) == 1:

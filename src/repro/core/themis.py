@@ -80,7 +80,7 @@ class ConsensusChainState:
         params: DifficultyParams,
         rule_kind: RuleKind = "geost",
         adaptive: bool = True,
-        finality_window: int | None = 64,
+        finality_window: int | None = 32,
     ) -> None:
         self.genesis = genesis
         self.members_fn = members_fn
@@ -96,7 +96,16 @@ class ConsensusChainState:
         # Finalized block: every candidate head descends from it; rule walks
         # restart here instead of genesis (see BlockTree.finality_window).
         self._final_id: bytes = genesis.block_id
+        self._final_height = 0
         self._final_prefix: Counter = Counter()
+        # Incrementally maintained main chain (index == height, genesis at
+        # 0).  ``main_chain()`` used to re-walk the ancestor path on every
+        # call — O(height) per call, and the invariant monitor calls it for
+        # every node on every sweep, which made long runs quadratic.  The
+        # cache turns head reads, height checks and finality advancement
+        # into O(1) (amortized O(reorg depth) per head move).
+        self._chain_blocks: list[Block] = [genesis]
+        self._chain_pos: dict[bytes, int] = {genesis.block_id: 0}
 
     # -- epochs and tables -------------------------------------------------------
 
@@ -248,7 +257,7 @@ class ConsensusChainState:
 
     def mining_assignment(self, producer: bytes) -> tuple[float, float, int]:
         """(multiple, base, epoch) for the next block on the current head."""
-        next_height = self.tree.get(self.head_id).height + 1
+        next_height = len(self._chain_blocks)
         table = self.table_for_block_height(self.head_id, next_height)
         return table.multiple(producer), table.base, self.epoch_of_height(next_height)
 
@@ -271,6 +280,8 @@ class ConsensusChainState:
             # When buffered orphans attached alongside, fall through to the
             # full walk — the head may now be one of the orphan descendants.
             self.head_id = block.block_id
+            self._chain_pos[block.block_id] = len(self._chain_blocks)
+            self._chain_blocks.append(block)
             self._advance_finality()
             return "extended"
         old_head = self.head_id
@@ -282,10 +293,36 @@ class ConsensusChainState:
             self.head_id = self.rule.head(self.tree, start=self._final_id)
         if self.head_id == old_head:
             return "unchanged"
+        self._sync_chain_cache()
         self._advance_finality()
         if self.tree.is_ancestor(old_head, self.head_id):
             return "extended"  # multi-block advance (orphans attached)
         return "reorg"
+
+    def _sync_chain_cache(self) -> None:
+        """Re-point the cached main chain at the (possibly reorged) head.
+
+        Walks the new head's ancestry only until it rejoins the cached
+        chain, rewinds the cache to that common ancestor and replays the
+        divergent suffix — O(reorg depth), not O(height).
+        """
+        blocks = self._chain_blocks
+        pos = self._chain_pos
+        path: list[Block] = []
+        cursor = self.head_id
+        while True:
+            index = pos.get(cursor)
+            if index is not None:
+                break
+            block = self.tree.get(cursor)
+            path.append(block)
+            cursor = block.parent_hash
+        for stale in blocks[index + 1 :]:
+            del pos[stale.block_id]
+        del blocks[index + 1 :]
+        for block in reversed(path):
+            pos[block.block_id] = len(blocks)
+            blocks.append(block)
 
     def _advance_finality(self) -> None:
         """Move the finalized block forward along the main chain.
@@ -296,44 +333,43 @@ class ConsensusChainState:
         """
         if self.finality_window is None:
             return
-        head_height = self.tree.get(self.head_id).height
-        final_height = self.tree.get(self._final_id).height
+        head_height = len(self._chain_blocks) - 1
         target = head_height - self.finality_window
-        if target <= final_height:
+        if target <= self._final_height:
             return
-        # Collect the path head -> current final, then advance along it.
-        path: list[bytes] = []
-        cursor: bytes | None = self.head_id
-        while cursor is not None and cursor != self._final_id:
-            path.append(cursor)
-            cursor = self.tree.parent(cursor)
-        if cursor is None:
+        chain = self._chain_blocks
+        if chain[self._final_height].block_id != self._final_id:
             raise ChainError("head does not descend from the finalized block")
-        path.reverse()
-        for block_id in path:
-            block = self.tree.get(block_id)
-            if block.height > target:
-                break
-            self._final_id = block_id
+        for block in chain[self._final_height + 1 : target + 1]:
             self._final_prefix[block.producer] += 1
+        self._final_id = chain[target].block_id
+        self._final_height = target
 
     # -- views --------------------------------------------------------------------------
 
     def head_block(self) -> Block:
         """The current main-chain tip."""
-        return self.tree.get(self.head_id)
+        return self._chain_blocks[-1]
 
     def main_chain(self) -> list[Block]:
         """Genesis through head, inclusive."""
-        return self.tree.chain_to(self.head_id)
+        return self._chain_blocks.copy()
 
     def height(self) -> int:
         """Current main-chain height."""
-        return self.tree.get(self.head_id).height
+        return len(self._chain_blocks) - 1
+
+    def block_at(self, height: int) -> Block:
+        """Main-chain block at ``height`` (O(1); IndexError above the head)."""
+        return self._chain_blocks[height]
+
+    def chain_position(self, block_id: bytes) -> int | None:
+        """Height of ``block_id`` on the current main chain, else ``None``."""
+        return self._chain_pos.get(block_id)
 
     def producer_counts(self, from_height: int = 1, to_height: int | None = None) -> Counter:
         """Main-chain producer histogram over a height window (Eq. 1 input)."""
-        chain = self.main_chain()
+        chain = self._chain_blocks
         to_height = to_height if to_height is not None else len(chain) - 1
         counts: Counter = Counter()
         for block in chain[from_height : to_height + 1]:

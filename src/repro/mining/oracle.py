@@ -21,6 +21,7 @@ sampling error.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -50,6 +51,35 @@ class MiningOracle:
         """Draw one Exp(rate) time-to-solve in seconds."""
         rate = self.solve_rate(hash_rate, difficulty)
         return float(self.rng.exponential(1.0 / rate))
+
+    def sample_solve_times(
+        self,
+        hash_rates: "Sequence[float]",
+        difficulties: "Sequence[float]",
+    ) -> np.ndarray:
+        """Draw one solve time per (hash rate, difficulty) pair, vectorized.
+
+        Bit-identical to calling :meth:`sample_solve_time` once per pair in
+        order: ``Generator.exponential(scale)`` is ``scale *
+        standard_exponential()`` over the same ziggurat stream, so one
+        vectorized ``standard_exponential(n)`` consumes the generator
+        exactly like ``n`` scalar draws, and the per-element ``* (1/rate)``
+        reproduces the scalar rounding.  Safe to use only where the draws
+        *are* consecutive on the shared run generator — e.g. fleet start-up,
+        where every miner arms back-to-back with no interleaved jitter or
+        workload draws.  Mid-run re-arms interleave with propagation-jitter
+        draws and must stay scalar to preserve the global draw order.
+        """
+        if len(hash_rates) != len(difficulties):
+            raise SimulationError("hash_rates and difficulties must align")
+        scales = np.array(
+            [
+                1.0 / self.solve_rate(h, d)
+                for h, d in zip(hash_rates, difficulties, strict=True)
+            ],
+            dtype=float,
+        )
+        return self.rng.standard_exponential(len(scales)) * scales
 
     def expected_solve_time(self, hash_rate: float, difficulty: float) -> float:
         """Mean of the solve-time distribution, ``1/rate``."""

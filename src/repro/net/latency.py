@@ -54,10 +54,17 @@ class LinkModel:
         return size_bytes * 8.0 / self.bandwidth_bps
 
     def propagation_delay(self, rng: np.random.Generator) -> float:
-        """Propagation delay including sampled jitter."""
+        """Propagation delay including sampled jitter.
+
+        The jitter draw is ``jitter * rng.random()`` — bit-identical to the
+        historical ``rng.uniform(0.0, jitter)`` (numpy computes
+        ``low + (high - low) * next_double`` from the same stream double)
+        but without the Generator.uniform call overhead, which dominates
+        this function on the per-hop gossip path.
+        """
         if self.jitter == 0.0:
             return self.min_delay
-        return self.min_delay + float(rng.uniform(0.0, self.jitter))
+        return self.min_delay + self.jitter * float(rng.random())
 
     def point_to_point(self, size_bytes: int, rng: np.random.Generator) -> float:
         """Total unqueued transfer time: serialization + propagation."""

@@ -56,9 +56,13 @@ def is_sync_kind(kind: str) -> bool:
     return kind.startswith(SYNC_KIND_PREFIX)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application message in flight.
+
+    One envelope per logical message: gossip forwards the *same* frozen
+    instance across every hop (slot-backed, so the per-hop field reads on
+    the transmit path stay cheap) rather than re-wrapping per edge.
 
     Attributes:
         kind: message type tag, e.g. ``"block"``, ``"tx"``, ``"pbft/prepare"``.

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Iterable
+from functools import partial
 
 from repro.errors import NetworkError
 from repro.net.latency import LinkModel
-from repro.net.message import Message
+from repro.net.message import MESSAGE_OVERHEAD_BYTES, Message
 from repro.net.simulator import Simulator
 from repro.net.transport import DropFilter, Handler, LinkDisturbance, NetworkStats
 
@@ -50,6 +51,13 @@ class SimulatedNetwork:
         self.sim = sim
         self.adjacency = adjacency
         self.link = link or LinkModel()
+        # Hot-path constants hoisted out of the per-hop transmit: the link
+        # model is immutable and the simulator's generator never changes, so
+        # the field loads and method dispatch can be paid once here.
+        self._inv_bandwidth = 8.0 / self.link.bandwidth_bps
+        self._min_delay = self.link.min_delay
+        self._jitter = self.link.jitter
+        self._rng_random = sim.rng.random
         self._handlers: dict[int, Handler] = {}
         self._uplink_free: dict[int, float] = defaultdict(float)
         self._seen: dict[int, set[int]] = defaultdict(set)
@@ -181,51 +189,73 @@ class SimulatedNetwork:
     # -- transmission ----------------------------------------------------------------
 
     def _transmit(self, src: int, dst: int, message: Message) -> None:
-        """Queue one transfer on ``src``'s uplink and schedule the delivery."""
-        if src in self._offline or dst in self._offline:
+        """Queue one transfer on ``src``'s uplink and schedule the delivery.
+
+        This is the network's hot path — every gossip hop of every message
+        lands here — so the chaos hooks (offline sets, partitions, drop
+        filters, disturbances) are all guarded by cheap emptiness checks
+        that cost one branch when no faults are armed.
+        """
+        sim = self.sim
+        if self._offline and (src in self._offline or dst in self._offline):
             self.stats.record_drop("offline")
             return
-        if self._crosses_partition(src, dst):
+        if self._partition is not None and self._crosses_partition(src, dst):
             self.stats.record_drop("partition")
             return
-        drop = self._drop_filters.get(src)
-        if drop is not None and drop(message):
-            self.stats.record_drop("filtered")
-            return
-        disturbances = self._disturbances_for(src, dst)
-        serialization = self.link.serialization_time(message.size)
+        if self._drop_filters:
+            drop = self._drop_filters.get(src)
+            if drop is not None and drop(message):
+                self.stats.record_drop("filtered")
+                return
+        size = message.body_size + MESSAGE_OVERHEAD_BYTES
+        serialization = size * self._inv_bandwidth
         extra_jitter = 0.0
         duplicated = False
-        for disturbance in disturbances:
-            # Draw in a fixed order per disturbance so seeded replays match.
-            if disturbance.loss > 0.0 and self.sim.rng.random() < disturbance.loss:
-                self.stats.record_drop("loss")
-                return
-            serialization *= disturbance.bandwidth_factor
-            if disturbance.reorder_jitter > 0.0:
-                extra_jitter += float(
-                    self.sim.rng.uniform(0.0, disturbance.reorder_jitter)
-                )
-            if (
-                disturbance.duplicate > 0.0
-                and self.sim.rng.random() < disturbance.duplicate
-            ):
-                duplicated = True
-        start = max(self.sim.now, self._uplink_free[src])
+        if self._disturbances:
+            for disturbance in self._disturbances_for(src, dst):
+                # Draw in a fixed order per disturbance so seeded replays match.
+                if disturbance.loss > 0.0 and sim.rng.random() < disturbance.loss:
+                    self.stats.record_drop("loss")
+                    return
+                serialization *= disturbance.bandwidth_factor
+                if disturbance.reorder_jitter > 0.0:
+                    extra_jitter += disturbance.reorder_jitter * float(
+                        sim.rng.random()
+                    )
+                if (
+                    disturbance.duplicate > 0.0
+                    and sim.rng.random() < disturbance.duplicate
+                ):
+                    duplicated = True
+        now = sim.now
+        start = self._uplink_free[src]
+        if now > start:
+            start = now
         finish = start + serialization
         self._uplink_free[src] = finish
-        base_delay = finish - self.sim.now
-        arrival = base_delay + self.link.propagation_delay(self.sim.rng) + extra_jitter
-        self.stats.record_send(message.kind, message.size)
-        self.sim.schedule(arrival, lambda: self._deliver(dst, src, message))
+        # Inlined LinkModel.propagation_delay: same ``min + jitter·u`` draw
+        # from the same stream, minus two method dispatches per hop.
+        jitter = self._jitter
+        propagation = (
+            self._min_delay
+            if jitter == 0.0
+            else self._min_delay + jitter * self._rng_random()
+        )
+        arrival = finish - now + propagation + extra_jitter
+        self.stats.record_send(message.kind, size)
+        sim.schedule(arrival, partial(self._deliver, dst, src, message))
         if duplicated:
             # The copy rides the same uplink slot but its own propagation
             # draw, so it may arrive before or after the original.
             self.stats.messages_duplicated += 1
             copy_arrival = (
-                base_delay + self.link.propagation_delay(self.sim.rng) + extra_jitter
+                finish
+                - now
+                + self.link.propagation_delay(sim.rng)
+                + extra_jitter
             )
-            self.sim.schedule(copy_arrival, lambda: self._deliver(dst, src, message))
+            sim.schedule(copy_arrival, partial(self._deliver, dst, src, message))
 
     def _deliver(self, dst: int, from_peer: int, message: Message) -> None:
         if dst in self._offline:

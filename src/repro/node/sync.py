@@ -56,7 +56,10 @@ class SyncConfig:
         timeout: seconds before an unanswered request is retried.
         backoff: timeout multiplier per retry (exponential backoff).
         max_retries: retries per phase before the sync attempt is abandoned;
-            each retry rotates to the next neighbor.
+            each retry rotates to the next neighbor.  Must be >= 1: a
+            zero-retry sync would abandon on the first timeout and leave a
+            restarting node mining on a stale head whenever its first pick
+            of peer happened to be dead.
     """
 
     batch: int = 64
@@ -71,8 +74,8 @@ class SyncConfig:
             raise SimulationError("sync timeout must be positive")
         if self.backoff < 1.0:
             raise SimulationError("sync backoff must be >= 1")
-        if self.max_retries < 0:
-            raise SimulationError("sync max_retries must be >= 0")
+        if self.max_retries < 1:
+            raise SimulationError("sync max_retries must be >= 1")
 
     def retry_delay(self, attempt: int) -> float:
         """Timeout for the ``attempt``-th send (0 = first try)."""

@@ -196,7 +196,7 @@ class SandbaggingMiner(MiningNode):
         # Idle first (to earn the m = 1 reset), then burst.
         return (epoch % cycle) >= self.idle_epochs
 
-    def _arm_miner(self) -> None:
+    def _arm_miner(self, solve_delay: float | None = None) -> None:
         if not self._started:
             return
         if not self._phase_active():
@@ -206,7 +206,7 @@ class SandbaggingMiner(MiningNode):
             # Re-check at the next head change; also poll so an idle phase
             # ends even if we produce nothing (head changes wake us anyway).
             return
-        super()._arm_miner()
+        super()._arm_miner(solve_delay)
 
     def _handle_block(self, block) -> None:
         super()._handle_block(block)

@@ -43,6 +43,7 @@ from repro.net.network import NetworkStats, SimulatedNetwork
 from repro.net.simulator import Simulator
 from repro.net.topology import complete_topology, random_regular_topology
 from repro.sim.attacks import VulnerableNodeAttack
+from repro.sim.fleet import start_mining_fleet
 from repro.sim.metrics import (
     ChaosReport,
     ForkReport,
@@ -265,8 +266,7 @@ def _run_mining(cfg: ExperimentConfig) -> RunResult:
             exclude=attack.victims if attack is not None else (),
         )
         monitor.start()
-    for node in nodes:
-        node.start()
+    start_mining_fleet(nodes)
 
     epoch_blocks = ctx.params.epoch_length(cfg.n)
     # Epoch-driven runs (equality/unpredictability curves) stop after a

@@ -1,0 +1,111 @@
+"""Tests for the core microbenchmark suite and its committed baseline.
+
+``benchmarks/`` is not a package (pytest's ``testpaths`` excludes it), so the
+module is loaded by file path.  Two properties are covered:
+
+* the committed ``BENCH_core.json`` conforms to the schema the CI regression
+  gate reads, and
+* the benchmark itself is deterministic — the *work* (event counts, block
+  counts, head ids) of a seeded grid run is reproducible even though wall
+  times are not.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_core.py"
+REPORT_PATH = REPO_ROOT / "BENCH_core.json"
+
+_spec = importlib.util.spec_from_file_location("bench_core", BENCH_PATH)
+assert _spec is not None and _spec.loader is not None
+bench_core = importlib.util.module_from_spec(_spec)
+# Register before exec: dataclasses resolves GridSpec's annotations through
+# sys.modules[cls.__module__] at class-creation time.
+sys.modules["bench_core"] = bench_core
+_spec.loader.exec_module(bench_core)
+
+RUN_FIELDS = {
+    "algorithm",
+    "n",
+    "seed",
+    "epochs",
+    "wall_s",
+    "events",
+    "blocks",
+    "head",
+    "per_event_us",
+    "per_block_ms",
+}
+
+
+class TestCommittedReport:
+    """BENCH_core.json is a CI input; its shape is part of the contract."""
+
+    @pytest.fixture(scope="class")
+    def report(self) -> dict:
+        return json.loads(REPORT_PATH.read_text())
+
+    def test_schema_version(self, report: dict) -> None:
+        assert report["schema"] == bench_core.SCHEMA_VERSION
+
+    def test_grid_matches_a_known_grid(self, report: dict) -> None:
+        assert report["grid"] in bench_core.GRIDS
+        assert len(report["runs"]) == len(bench_core.GRIDS[report["grid"]])
+
+    def test_runs_have_all_fields(self, report: dict) -> None:
+        for run in report["runs"]:
+            assert RUN_FIELDS <= run.keys()
+            assert run["events"] > 0
+            assert run["blocks"] > 0
+            assert run["wall_s"] > 0.0
+            bytes.fromhex(run["head"])  # head is a hex block id
+
+    def test_totals_are_consistent_with_runs(self, report: dict) -> None:
+        totals = report["totals"]
+        assert totals["events"] == sum(r["events"] for r in report["runs"])
+        assert totals["blocks"] == sum(r["blocks"] for r in report["runs"])
+        assert totals["wall_s"] == pytest.approx(
+            sum(r["wall_s"] for r in report["runs"]), abs=0.01
+        )
+
+    def test_committed_speedup_meets_target(self, report: dict) -> None:
+        """The hot-path rewrite's headline number: >= 5x per-event."""
+        assert "baseline" in report and "speedup" in report
+        assert report["speedup"]["per_event"] >= 5.0
+
+    def test_check_regression_accepts_itself(self, report: dict) -> None:
+        """A report can never regress against itself (factor >= 1)."""
+        assert bench_core.check_regression(report, report, factor=2.0)
+
+    def test_check_regression_flags_a_slowdown(self, report: dict) -> None:
+        slow = json.loads(json.dumps(report))  # deep copy
+        slow["totals"]["per_event_us"] = report["totals"]["per_event_us"] * 3
+        assert not bench_core.check_regression(slow, report, factor=2.0)
+
+
+class TestBenchDeterminism:
+    """Same seed => identical simulated work, run-to-run."""
+
+    def test_smoke_grid_work_is_reproducible(self) -> None:
+        first = bench_core.run_grid(bench_core.GRIDS["smoke"])
+        second = bench_core.run_grid(bench_core.GRIDS["smoke"])
+        timing_fields = {"wall_s", "per_event_us", "per_block_ms"}
+        for a, b in zip(first, second, strict=True):
+            work_a = {k: v for k, v in a.items() if k not in timing_fields}
+            work_b = {k: v for k, v in b.items() if k not in timing_fields}
+            assert work_a == work_b
+
+    def test_build_report_shape(self) -> None:
+        records = bench_core.run_grid(bench_core.GRIDS["smoke"][:1])
+        report = bench_core.build_report("smoke", records)
+        assert report["schema"] == bench_core.SCHEMA_VERSION
+        assert report["grid"] == "smoke"
+        assert report["runs"] == records
+        assert report["totals"]["events"] == records[0]["events"]

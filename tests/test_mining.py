@@ -96,6 +96,34 @@ class TestOracle:
             network_block_rate(oracle, [1.0], [1.0, 2.0])
 
 
+    def test_batched_samples_match_sequential_draws(self):
+        """sample_solve_times is bit-identical to sequential sample_solve_time.
+
+        The fleet-startup path arms all miners from one batched draw; replay
+        compatibility requires the batch to consume the generator stream
+        exactly as the per-node loop would.
+        """
+        hash_rates = [1.0, 4.0, 2.5, 9.0, 0.5]
+        difficulties = [1.0, 2.0, 1.0, 3.0, 1.5]
+        sequential = MiningOracle(np.random.default_rng(77), T_MAX)
+        batched = MiningOracle(np.random.default_rng(77), T_MAX)
+        expected = [
+            sequential.sample_solve_time(h, d)
+            for h, d in zip(hash_rates, difficulties, strict=True)
+        ]
+        got = batched.sample_solve_times(hash_rates, difficulties)
+        assert list(got) == expected  # exact equality, not approx
+        # Both generators must end in the same stream position.
+        assert sequential.rng.random() == batched.rng.random()
+
+    def test_batched_samples_validate_inputs(self):
+        oracle = MiningOracle(np.random.default_rng(0), T_MAX)
+        with pytest.raises(SimulationError):
+            oracle.sample_solve_times([1.0, 2.0], [1.0])
+        with pytest.raises(SimulationError):
+            oracle.sample_solve_times([0.0], [1.0])
+
+
 def _header(difficulty: float = 1.0, nonce: int = 0) -> BlockHeader:
     return BlockHeader(
         version=BLOCK_VERSION,

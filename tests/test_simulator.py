@@ -144,3 +144,155 @@ class TestDeterminism:
         sim = Simulator(seed=0)
         samples = [sim.exponential(4.0) for _ in range(4000)]
         assert sum(samples) / len(samples) == pytest.approx(0.25, rel=0.1)
+
+
+class TestHeapCompaction:
+    """Regression tests for the cancelled-event heap leak.
+
+    A miner fleet cancels and reschedules its solve timer on every received
+    block; before tombstone compaction the heap retained every cancelled
+    entry until its deadline drained, growing without bound.
+    """
+
+    def test_heap_stays_bounded_under_cancel_reschedule(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        for _ in range(10_000):
+            handle.cancel()
+            handle = sim.schedule(1.0, lambda: None)
+        # One live timer; tombstones must have been compacted away rather
+        # than accumulating all 10_000 cancelled entries.
+        assert sim.pending_events == 1
+        assert len(sim._queue) < 200
+
+    def test_pending_events_counts_only_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events == 6
+
+    def test_cancel_is_idempotent_in_accounting(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_purge_from_inside_a_callback_is_seen_by_the_run_loop(self):
+        """Mass-cancellation inside a running callback triggers an in-place
+        compaction; the loop's queue binding must observe it and the
+        surviving events must still fire in order."""
+        sim = Simulator()
+        fired: list[str] = []
+        victims = []
+
+        def boom() -> None:
+            for handle in victims:
+                handle.cancel()
+            fired.append("boom")
+
+        sim.schedule(0.5, boom)
+        victims.extend(
+            sim.schedule(1.0 + i * 0.001, lambda: fired.append("cancelled"))
+            for i in range(500)
+        )
+        sim.schedule(2.0, lambda: fired.append("end"))
+        sim.run()
+        assert fired == ["boom", "end"]
+        assert sim.pending_events == 0
+
+    def test_survivors_fire_in_order_after_purge(self):
+        sim = Simulator()
+        fired: list[int] = []
+        keepers = [
+            sim.schedule(float(i), lambda i=i: fired.append(i)) for i in range(1, 6)
+        ]
+        victims = [
+            sim.schedule(0.2 + i * 0.001, lambda: fired.append(-1))
+            for i in range(300)
+        ]
+        for handle in victims:
+            handle.cancel()
+        assert sim.pending_events == len(keepers)
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+
+class TestRunClockSemantics:
+    """The documented ``until`` x ``max_events`` x ``stop_when`` contract."""
+
+    def test_now_never_exceeds_until(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert fired == []
+        assert sim.pending_events == 1  # the late event is left queued
+        sim.run(until=10.0)
+        assert fired == ["late"]
+        assert sim.now == 10.0
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.schedule(2.0, lambda: fired.append("edge"))
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+        assert sim.now == 2.0
+
+    def test_empty_queue_run_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_run_without_until_on_empty_queue_leaves_clock(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_drained_queue_advances_to_until(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run(until=9.0)
+        assert fired == ["x"]
+        assert sim.now == 9.0
+
+    def test_max_events_leaves_clock_at_last_executed_event(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until=10.0, max_events=2)
+        assert sim.now == 2.0
+        assert fired == [0, 1]
+        assert sim.pending_events == 3
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+
+    def test_stop_when_leaves_queue_intact(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until=10.0, stop_when=lambda: len(fired) >= 3)
+        assert sim.now == 3.0
+        assert fired == [0, 1, 2]
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 5.0  # no until: clock rests at the last event
+
+    def test_until_wins_when_it_comes_before_max_events(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until=2.5, max_events=100)
+        assert sim.now == 2.5
+        assert fired == [0, 1]

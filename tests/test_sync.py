@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
+
+import pytest
+
+from repro.consensus.powfamily import MiningNodeConfig
+from repro.errors import SimulationError
+from repro.node.sync import SyncConfig
 
 from tests.test_powfamily import make_fleet
 
@@ -71,3 +78,40 @@ class TestChainSync:
             sleeper.main_chain()[prefix_height].block_id
             == nodes[0].main_chain()[prefix_height].block_id
         )
+
+
+class TestSyncConfigValidation:
+    """SyncConfig is frozen and rejects values that would wedge recovery."""
+
+    def test_rejects_non_positive_batch(self):
+        with pytest.raises(SimulationError):
+            SyncConfig(batch=0)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(SimulationError):
+            SyncConfig(timeout=0.0)
+        with pytest.raises(SimulationError):
+            SyncConfig(timeout=-1.0)
+
+    def test_rejects_shrinking_backoff(self):
+        with pytest.raises(SimulationError):
+            SyncConfig(backoff=0.5)
+
+    def test_rejects_zero_retries(self):
+        # max_retries=0 would abandon the sync on the very first timeout.
+        with pytest.raises(SimulationError):
+            SyncConfig(max_retries=0)
+
+    def test_config_is_frozen(self):
+        config = SyncConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.batch = 128  # type: ignore[misc]
+
+    def test_node_configs_do_not_share_a_sync_instance(self):
+        """Regression: ``sync`` used to be a shared class-level default, so
+        (hypothetically mutable) tweaks to one node's sync settings would
+        leak into every other node built afterwards."""
+        c1 = MiningNodeConfig()
+        c2 = MiningNodeConfig()
+        assert c1.sync == c2.sync
+        assert c1.sync is not c2.sync
