@@ -19,7 +19,7 @@ from pathlib import Path
 from repro.chain.block import Block
 from repro.chain.blocktree import BlockTree
 from repro.chain.codec import Reader, Writer
-from repro.errors import CodecError
+from repro.errors import ChainError, CodecError
 
 #: File magic and current format version.
 MAGIC = b"THMS"
@@ -55,10 +55,18 @@ def deserialize_tree(
     genesis = Block.from_bytes(reader.read_bytes())
     tree = BlockTree(genesis, finality_window=finality_window)
     count = reader.read_varint()
-    for _ in range(count):
+    for index in range(count):
         block = Block.from_bytes(reader.read_bytes())
         arrival = reader.read_float()
-        tree.add_block(block, arrival)
+        try:
+            tree.add_block(block, arrival)
+        except ChainError as exc:
+            # A duplicate or otherwise unplaceable payload means the stream
+            # itself is corrupt; surface it as a decode failure, not as a
+            # tree-internal error the caller never handed a tree to.
+            raise CodecError(
+                f"chain-store block {index + 1}/{count} rejected: {exc}"
+            ) from exc
     reader.expect_end()
     return tree
 

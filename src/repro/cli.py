@@ -11,9 +11,12 @@ Commands:
 * ``lint`` — the determinism & protocol-safety static analysis suite
   (forwards to :mod:`repro.lint`; see ``docs/static-analysis.md``);
 * ``run-node`` — one live consortium node process over TCP (driven by a
-  manifest file; see ``docs/transport.md``);
+  manifest file; see ``docs/transport.md``); with ``--data-dir`` the
+  chain persists to sqlite and restarts recover from disk;
 * ``localnet`` — an N-node localhost cluster: spawns ``run-node``
-  processes, drives a workload, reports convergence and wall-clock TPS.
+  processes, drives a workload, reports convergence and wall-clock TPS;
+* ``explorer`` — the block-explorer JSON API over a node's chain
+  database (see ``docs/storage.md``).
 
 Examples::
 
@@ -259,9 +262,17 @@ def _cmd_run_node(args: argparse.Namespace) -> int:
         manifest_path=args.manifest,
         node_id=args.node_id,
         status_path=args.status,
+        data_dir=args.data_dir,
         tx_rate=args.tx_rate,
         duration=args.duration,
     )
+
+
+def _cmd_explorer(args: argparse.Namespace) -> int:
+    from repro.explorer.http import main as explorer_main
+
+    explorer_main(db_path=args.db, host=args.host, port=args.port)
+    return 0
 
 
 def _cmd_localnet(args: argparse.Namespace) -> int:
@@ -275,6 +286,7 @@ def _cmd_localnet(args: argparse.Namespace) -> int:
         i0=args.i0,
         seed=args.seed,
         workdir=args.workdir,
+        data_dir=args.data_dir,
         sign_blocks=args.sign,
         verify_signatures=args.sign,
     )
@@ -284,6 +296,12 @@ def _cmd_localnet(args: argparse.Namespace) -> int:
         print(f"  node {node_id}: height {height}")
     if not report.clean_shutdown:
         print("warning: some nodes needed SIGKILL during teardown", file=sys.stderr)
+    if report.leaked_files:
+        print(
+            "warning: storage left journal files behind: "
+            + ", ".join(report.leaked_files),
+            file=sys.stderr,
+        )
     return 0 if report.converged else 1
 
 
@@ -356,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
     node_parser.add_argument(
         "--duration", type=float, default=None, help="max runtime in seconds"
     )
+    node_parser.add_argument(
+        "--data-dir",
+        type=str,
+        default=None,
+        help="durable chain storage directory (restart recovers from disk)",
+    )
     node_parser.set_defaults(func=_cmd_run_node)
 
     localnet_parser = sub.add_parser(
@@ -381,9 +405,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--workdir", type=str, default=None, help="keep manifest/status files here"
     )
     localnet_parser.add_argument(
+        "--data-dir",
+        type=str,
+        default=None,
+        help="per-node durable chain databases live here (enables recovery)",
+    )
+    localnet_parser.add_argument(
         "--sign", action="store_true", help="real ECDSA signing/verification (slow)"
     )
     localnet_parser.set_defaults(func=_cmd_localnet)
+
+    explorer_parser = sub.add_parser(
+        "explorer", help="serve the block-explorer JSON API from a chain database"
+    )
+    explorer_parser.add_argument(
+        "--db", required=True, help="chain database (e.g. <data-dir>/node-0.db)"
+    )
+    explorer_parser.add_argument("--host", type=str, default="127.0.0.1")
+    explorer_parser.add_argument("--port", type=int, default=8390)
+    explorer_parser.set_defaults(func=_cmd_explorer)
     return parser
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.chain.block import Block, sign_block
 from repro.chain.blocktree import BlockTree
@@ -48,6 +48,9 @@ from repro.net.clock import TimerHandle
 from repro.net.message import Message, is_sync_kind
 from repro.node.sync import SyncConfig, SyncManager
 from repro.consensus.base import ConsensusNode, RunContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.storage.base import ChainStorage
 
 
 @dataclass(frozen=True)
@@ -156,6 +159,10 @@ class MiningNode(ConsensusNode):
         self.builder = BlockBuilder(keypair=keypair, mempool=self.mempool)
         self.stats = MiningStats()
         self.sync = SyncManager(self, config.sync)
+        # Durable storage is opt-in (live mode only).  It stays None in
+        # simulations, and every persistence hook below is None-guarded, so
+        # simulated runs are byte-identical with or without this subsystem.
+        self.storage: ChainStorage | None = None
         self.clock_skew = 0.0
         self.crashed = False
         self._mining_handle: TimerHandle | None = None
@@ -207,12 +214,70 @@ class MiningNode(ConsensusNode):
         """
         self.ctx.network.set_offline(self.node_id, False)
         self.crashed = False
+        self.start_after_sync(sync_peer)
+
+    def start_after_sync(self, sync_peer: int | None = None) -> None:
+        """Sync first, mine after: the catch-up half of :meth:`restart`.
+
+        Used directly by live-mode recovery, where the process is new (no
+        crash flag to clear, the transport connects itself) but mining must
+        still wait until the node has pulled the suffix it missed while
+        down.
+        """
         self._resume_after_sync = True
         self.sync.start_sync(sync_peer)
 
     def local_time(self) -> float:
         """This node's clock reading (simulated time plus any chaos skew)."""
         return max(0.0, self.ctx.sim.now + self.clock_skew)
+
+    # -- durable storage (live mode; never set in simulations) ----------------------
+
+    def attach_storage(self, storage: ChainStorage) -> None:
+        """Bind a durable backend; blocks persist from here on.
+
+        Binds the store to this deployment's genesis (a database from a
+        different network is refused) and records the member set for the
+        explorer's equality metrics.
+        """
+        storage.ensure_genesis(self.ctx.genesis)
+        storage.set_members(list(self.members_fn()))
+        self.storage = storage
+
+    def restore_from_storage(self) -> int:
+        """Replay the persisted chain into consensus state before any sync.
+
+        Recovery rebuilds the block tree from the newest on-disk snapshot
+        plus incremental rows — never by re-downloading from genesis — and
+        feeds it through :meth:`ConsensusChainState.add_block` with the
+        *stored* arrival times, so GEOST's first-received tie-break state
+        matches the pre-restart process.  Returns the recovered main-chain
+        height (0 = empty store, nothing to restore).
+
+        Call before :meth:`start` / :meth:`request_sync`: peer sync then
+        starts from the recovered tip and fetches only the missed suffix.
+        """
+        if self.storage is None:
+            return 0
+        recovered = self.storage.recover(self.state.tree.finality_window)
+        if recovered is None:
+            return 0
+        for block in recovered.iter_blocks():
+            if block.height == 0 or self.state.tree.has_block(block.block_id):
+                continue
+            self.state.add_block(block, recovered.arrival_time(block.block_id))
+        # One head-update pass at the end (FullNode re-executes the ledger
+        # here) instead of per replayed block.
+        self._after_head_update()
+        return self.state.height()
+
+    def _persist_block(self, block: Block) -> None:
+        if self.storage is not None:
+            self.storage.record_block(block, self.ctx.sim.now)
+
+    def _persist_commit(self) -> None:
+        if self.storage is not None:
+            self.storage.commit(self.state.head_id, self.state.tree)
 
     # -- mining --------------------------------------------------------------------
 
@@ -267,7 +332,9 @@ class MiningNode(ConsensusNode):
             difficulty=round(header.difficulty, 3),
         )
         self.state.add_block(block, self.ctx.sim.now)
+        self._persist_block(block)
         self._after_head_update()
+        self._persist_commit()
         self._arm_miner()  # keep mining on top of the fresh head
         tx_count = (
             len(transactions) if self.config.execute_ledger else self.config.batch_size
@@ -358,6 +425,7 @@ class MiningNode(ConsensusNode):
         # never become head without a valid ancestry.
         outcome = self.state.add_block(block, self.ctx.sim.now)
         self.stats.blocks_accepted += 1
+        self._persist_block(block)
         if outcome == "reorg":
             self.stats.reorgs += 1
             self._trace(
@@ -367,6 +435,7 @@ class MiningNode(ConsensusNode):
             )
         if outcome in ("extended", "reorg"):
             self._on_main_chain_advance(block, outcome)
+            self._persist_commit()
             self._arm_miner()
 
     def _on_main_chain_advance(self, block: Block, outcome: str) -> None:

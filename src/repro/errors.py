@@ -52,6 +52,10 @@ class ContractError(LedgerError):
     """Raised when a contract call is malformed or rejected."""
 
 
+class StorageError(ReproError):
+    """Raised for durable chain-storage failures (bad schema, wrong genesis)."""
+
+
 class NetworkError(ReproError):
     """Raised for simulated-network misuse (unknown peer, closed sim, ...)."""
 

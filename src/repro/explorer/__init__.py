@@ -1,0 +1,19 @@
+"""Block-explorer read tier: JSON API over durable chain storage.
+
+See :mod:`repro.explorer.service` for the endpoint table and
+:mod:`repro.explorer.http` for the server and ``repro explorer`` CLI.
+"""
+
+from repro.explorer.cache import ResponseCache, make_etag
+from repro.explorer.http import ExplorerServer, start_explorer
+from repro.explorer.service import BadRequestError, NotFoundError, route
+
+__all__ = [
+    "BadRequestError",
+    "ExplorerServer",
+    "NotFoundError",
+    "ResponseCache",
+    "make_etag",
+    "route",
+    "start_explorer",
+]

@@ -1,0 +1,59 @@
+"""Generation-keyed LRU response cache for the explorer.
+
+Responses are cached against the storage backend's commit generation:
+every cache key carries the generation the response was computed at, so
+a new commit (which bumps the generation) makes every older entry
+unreachable — invalidation without any notification channel between the
+writer process and the explorer.  Stale generations are swept lazily so
+the cache never holds more than ``capacity`` live entries plus whatever
+a sweep has not reclaimed yet.
+
+Each entry stores the rendered body together with its ETag, letting the
+HTTP layer answer a matching ``If-None-Match`` with ``304 Not Modified``
+without re-rendering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+
+def make_etag(body: bytes) -> str:
+    """A strong ETag for a response body (content-addressed, quoted)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:16] + '"'
+
+
+class ResponseCache:
+    """LRU cache of rendered responses keyed by ``(generation, request)``."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[int, str], tuple[bytes, str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, generation: int, request: str) -> tuple[bytes, str] | None:
+        """The cached ``(body, etag)`` for a request at a generation."""
+        entry = self._entries.get((generation, request))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((generation, request))
+        self.hits += 1
+        return entry
+
+    def put(self, generation: int, request: str, body: bytes, etag: str) -> None:
+        """Insert a rendered response, evicting LRU and stale generations."""
+        stale = [key for key in self._entries if key[0] != generation]
+        for key in stale:
+            del self._entries[key]
+        self._entries[(generation, request)] = (body, etag)
+        self._entries.move_to_end((generation, request))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)

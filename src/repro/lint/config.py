@@ -50,18 +50,41 @@ class LintConfig:
 
     #: Sub-packages of ``repro`` whose code executes inside the simulation
     #: (REP001/REP003/REP005 scope).  Only the simulated clock ticks here.
+    #: ``storage`` and ``explorer`` are included even though they never run
+    #: under the simulated clock: they serialize chain objects and serve
+    #: them over process boundaries, exactly the territory REP003/REP006
+    #: police.
     sim_packages: frozenset[str] = frozenset(
-        {"consensus", "chain", "net", "node", "mining", "ledger", "sim", "chaos", "live"}
+        {
+            "consensus",
+            "chain",
+            "net",
+            "node",
+            "mining",
+            "ledger",
+            "sim",
+            "chaos",
+            "live",
+            "storage",
+            "explorer",
+        }
     )
 
     #: Sub-packages exempt from REP001 *by design*: the live transport runs
     #: on real sockets and real time (asyncio's clock is the wall clock), so
-    #: host-clock reads there are the point, not a leak.  Every other rule
-    #: still applies — live code must stay seeded, sorted and pickle-free.
-    wall_clock_exempt_packages: frozenset[str] = frozenset({"live"})
+    #: host-clock reads there are the point, not a leak.  The durable
+    #: storage tier and the explorer HTTP service are wall-clock processes
+    #: for the same reason.  Every other rule still applies — live code
+    #: must stay seeded, sorted and pickle-free, and storage/explorer may
+    #: NOT read ``os.environ`` directly (paths and settings arrive through
+    #: the :mod:`repro.node.config` gateway, REP006).
+    wall_clock_exempt_packages: frozenset[str] = frozenset(
+        {"live", "storage", "explorer"}
+    )
 
-    #: Modules allowed to read ``os.environ`` (REP006).  Everything else
-    #: must route through the :mod:`repro.node.config` gateway.
+    #: Modules allowed to read ``os.environ`` (REP006).  Everything else —
+    #: including the storage/explorer packages — must route through the
+    #: :mod:`repro.node.config` gateway.
     environ_allowed_modules: frozenset[str] = frozenset(
         {"repro.node.config", "benchmarks.conftest"}
     )

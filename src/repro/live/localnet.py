@@ -49,6 +49,9 @@ class LocalnetConfig:
         degree: gossip overlay degree.
         workdir: where the manifest and status files live (a temp dir when
             None).
+        data_dir: directory for per-node durable chain databases (None
+            keeps every node in-memory, the pre-storage behavior).  Nodes
+            restarted against the same data dir recover from disk.
         poll_interval: seconds between status sweeps.
         sign_blocks / verify_signatures: real ECDSA (slow; off for smoke).
     """
@@ -61,6 +64,7 @@ class LocalnetConfig:
     seed: int = 0
     degree: int = 6
     workdir: str | None = None
+    data_dir: str | None = None
     poll_interval: float = 0.2
     sign_blocks: bool = False
     verify_signatures: bool = False
@@ -86,6 +90,9 @@ class LocalnetReport:
     committed_txs: int
     node_heights: dict[int, int] = field(default_factory=dict)
     clean_shutdown: bool = True
+    #: Leaked WAL/journal/temp files found under ``data_dir`` after
+    #: teardown (always empty when storage is off or shutdown was clean).
+    leaked_files: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
         status = "CONVERGED" if self.converged else "DID NOT CONVERGE"
@@ -170,28 +177,62 @@ def run_localnet(config: LocalnetConfig) -> LocalnetReport:
         try:
             for i in range(config.nodes):
                 processes[i] = subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro",
-                        "run-node",
-                        "--manifest",
-                        str(manifest_path),
-                        "--node-id",
-                        str(i),
-                        "--status",
-                        str(status_paths[i]),
-                        "--tx-rate",
-                        str(config.tx_rate),
-                        "--duration",
-                        str(config.deadline + 30.0),
-                    ],
+                    node_command(
+                        manifest_path=manifest_path,
+                        node_id=i,
+                        status_path=status_paths[i],
+                        tx_rate=config.tx_rate,
+                        duration=config.deadline + 30.0,
+                        data_dir=config.data_dir,
+                    ),
                 )
             report = _watch(config, processes, status_paths)
         finally:
             report_clean = _teardown(processes)
         report.clean_shutdown = report_clean
+        if config.data_dir is not None:
+            report.leaked_files = storage_turds(config.data_dir)
         return report
+
+
+def node_command(
+    *,
+    manifest_path: str | Path,
+    node_id: int,
+    status_path: str | Path,
+    tx_rate: float,
+    duration: float,
+    data_dir: str | None = None,
+) -> list[str]:
+    """The ``run-node`` argv for one cluster member (restarts reuse it)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "run-node",
+        "--manifest",
+        str(manifest_path),
+        "--node-id",
+        str(node_id),
+        "--status",
+        str(status_path),
+        "--tx-rate",
+        str(tx_rate),
+        "--duration",
+        str(duration),
+    ]
+    if data_dir is not None:
+        argv.extend(["--data-dir", data_dir])
+    return argv
+
+
+def storage_turds(data_dir: str | Path) -> list[str]:
+    """Journal/WAL leftovers that a clean storage shutdown must not leave."""
+    directory = Path(data_dir)
+    leftovers = []
+    for pattern in ("*-wal", "*-shm", "*-journal", "*.tmp"):
+        leftovers.extend(sorted(str(p) for p in directory.glob(pattern)))
+    return leftovers
 
 
 def _watch(

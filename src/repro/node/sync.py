@@ -23,7 +23,7 @@ request that already timed out — are matched by request id and dropped.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
@@ -96,6 +96,16 @@ class SyncStats:
     retries: int = 0
     headers_received: int = 0
     blocks_received: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """Counters as a JSON-ready mapping (for node status files).
+
+        Live-mode drivers use this to verify recovery behavior from the
+        outside: a node restarted from durable storage reports far fewer
+        ``blocks_received`` than its chain height, proving it replayed
+        from disk rather than re-downloading from genesis.
+        """
+        return asdict(self)
 
 
 class SyncManager:

@@ -1,0 +1,135 @@
+"""File-dump chain storage: the canonical chain-store codec as a backend.
+
+Adapts :mod:`repro.chain.store` to the :class:`~repro.storage.base.
+ChainStorage` protocol.  There is no incremental write path — every
+effective :meth:`FileSnapshotStorage.commit` rewrites the full tree
+atomically (temp file + ``os.replace``), throttled to once per
+``snapshot_interval`` heights unless forced.  That makes it O(chain)
+per snapshot and unsuitable for the explorer's indexed queries, but it
+needs only the codec, produces a single portable file, and is the
+natural archival/export format.  A ``<path>.meta.json`` sidecar records
+the stored head, member set and a generation counter so tools can
+inspect a dump without decoding the stream.
+
+Use :class:`~repro.storage.sqlite.SqliteStorage` for live nodes and the
+explorer read tier; use this backend for snapshots you want to move
+between machines or diff byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.chain.block import Block
+from repro.chain.blocktree import BlockTree
+from repro.chain.store import load_tree, serialize_tree
+from repro.errors import StorageError
+
+
+class FileSnapshotStorage:
+    """Snapshot-only backend over the length-prefixed chain-store format.
+
+    Args:
+        path: snapshot file location; ``<path>.meta.json`` rides alongside.
+        snapshot_interval: minimum height advance between automatic
+            rewrites; ``commit(force=True)`` always rewrites.
+    """
+
+    def __init__(self, path: str | Path, *, snapshot_interval: int = 64) -> None:
+        if snapshot_interval < 1:
+            raise StorageError("snapshot_interval must be >= 1")
+        self.path = Path(path)
+        self.snapshot_interval = snapshot_interval
+        self._genesis_hex: str | None = None
+        self._members: list[bytes] = []
+        self._meta = self._load_meta()
+        self._last_height = int(self._meta.get("height", 0) or 0)  # type: ignore[arg-type]
+        self._closed = False
+
+    @property
+    def meta_path(self) -> Path:
+        return Path(str(self.path) + ".meta.json")
+
+    def _load_meta(self) -> dict[str, object]:
+        if not self.meta_path.exists():
+            return {}
+        try:
+            loaded = json.loads(self.meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"unreadable sidecar {self.meta_path}: {exc}") from exc
+        if not isinstance(loaded, dict):
+            raise StorageError(f"sidecar {self.meta_path} is not a JSON object")
+        return loaded
+
+    # -- ChainStorage --------------------------------------------------------------
+
+    def ensure_genesis(self, genesis: Block) -> None:
+        """Bind to a genesis block; refuse a snapshot from another chain."""
+        self._assert_open()
+        stored = self._meta.get("genesis_id")
+        genesis_hex = genesis.block_id.hex()
+        if stored is not None and stored != genesis_hex:
+            raise StorageError(
+                f"snapshot {self.path} belongs to genesis {str(stored)[:12]}, "
+                f"not {genesis_hex[:12]}"
+            )
+        self._genesis_hex = genesis_hex
+
+    def set_members(self, members: Sequence[bytes]) -> None:
+        self._assert_open()
+        self._members = list(members)
+
+    def record_block(self, block: Block, arrival_time: float) -> None:
+        """No-op: this backend snapshots the whole tree on commit."""
+        self._assert_open()
+
+    def commit(self, head_id: bytes, tree: BlockTree, *, force: bool = False) -> None:
+        """Rewrite the snapshot atomically when the policy (or force) says so."""
+        self._assert_open()
+        height = tree.max_height()
+        if not force and height - self._last_height < self.snapshot_interval:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = serialize_tree(tree)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, self.path)
+        self._meta = {
+            "genesis_id": self._genesis_hex,
+            "head_id": head_id.hex(),
+            "height": height,
+            "generation": int(self._meta.get("generation", 0) or 0) + 1,  # type: ignore[arg-type]
+            "members": [m.hex() for m in self._members],
+        }
+        meta_tmp = self.meta_path.with_suffix(".tmp")
+        meta_tmp.write_text(json.dumps(self._meta, indent=2) + "\n")
+        os.replace(meta_tmp, self.meta_path)
+        self._last_height = height
+
+    def recover(self, finality_window: int | None = 32) -> BlockTree | None:
+        """Reload the last snapshot, or ``None`` when nothing was written."""
+        if not self.path.exists():
+            return None
+        return load_tree(self.path, finality_window=finality_window)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise StorageError("storage already closed")
+
+    # -- sidecar read helpers ------------------------------------------------------
+
+    def generation(self) -> int:
+        return int(self._meta.get("generation", 0) or 0)  # type: ignore[arg-type]
+
+    def stored_head_hex(self) -> str | None:
+        head = self._meta.get("head_id")
+        return None if head is None else str(head)
+
+    def stored_height(self) -> int:
+        return int(self._meta.get("height", -1) or -1)  # type: ignore[arg-type]

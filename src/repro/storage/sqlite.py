@@ -1,0 +1,588 @@
+"""SQLite chain storage: the explorer-grade durable backend.
+
+Stdlib ``sqlite3`` in WAL mode, so one writer (the node) and many readers
+(explorer worker threads, other processes) coexist without blocking each
+other.  The write path is batched: :meth:`SqliteStorage.record_block`
+buffers in memory and :meth:`SqliteStorage.commit` lands the whole batch
+in a single transaction — one fsync per head advance instead of one per
+block, which is what the ``benchmarks/bench_storage.py`` throughput gate
+measures.
+
+Schema (see ``docs/storage.md`` for the full matrix):
+
+* ``blocks`` — every block ever attached, in reception order (``seq``),
+  with the canonical serialized bytes; indexed by height and producer.
+* ``txs`` — one row per transaction per containing block, indexed by
+  sender and recipient for the ``/accounts`` read path.
+* ``canon`` — the main chain as a height → block-id map, updated
+  incrementally on commit (O(reorg depth), not O(height)).
+* ``snapshots`` — periodic full-tree dumps through the canonical
+  :mod:`repro.chain.store` codec; recovery loads the newest one and
+  replays only the blocks recorded after it.
+* ``meta`` — genesis binding, stored head, member set, generation
+  counter.
+
+Snapshot + prune policy: every ``snapshot_interval`` heights the whole
+tree is snapshotted and older snapshots beyond ``keep_snapshots`` are
+deleted.  With ``prune_depth`` set, block/tx rows more than that many
+heights below the snapshot are dropped too (the snapshot still recovers
+them structurally) — the pruned-node configuration; archival stores
+leave it ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.chain.block import Block
+from repro.chain.blocktree import BlockTree
+from repro.chain.store import deserialize_tree, serialize_tree
+from repro.errors import DuplicateBlockError, StorageError
+
+#: Schema version stamped into ``meta``; mismatches refuse to open.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS blocks (
+    seq          INTEGER PRIMARY KEY,
+    block_id     BLOB NOT NULL UNIQUE,
+    parent_id    BLOB NOT NULL,
+    height       INTEGER NOT NULL,
+    epoch        INTEGER NOT NULL,
+    producer     BLOB NOT NULL,
+    timestamp    REAL NOT NULL,
+    arrival_time REAL NOT NULL,
+    tx_count     INTEGER NOT NULL,
+    data         BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS blocks_height ON blocks(height);
+CREATE INDEX IF NOT EXISTS blocks_producer ON blocks(producer);
+CREATE TABLE IF NOT EXISTS txs (
+    tx_id     BLOB NOT NULL,
+    block_id  BLOB NOT NULL,
+    position  INTEGER NOT NULL,
+    sender    BLOB NOT NULL,
+    recipient BLOB NOT NULL,
+    amount    INTEGER NOT NULL,
+    nonce     INTEGER NOT NULL,
+    PRIMARY KEY (tx_id, block_id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS txs_sender ON txs(sender);
+CREATE INDEX IF NOT EXISTS txs_recipient ON txs(recipient);
+CREATE INDEX IF NOT EXISTS txs_block ON txs(block_id);
+CREATE TABLE IF NOT EXISTS canon (
+    height   INTEGER PRIMARY KEY,
+    block_id BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    snap_seq   INTEGER PRIMARY KEY,
+    height     INTEGER NOT NULL,
+    generation INTEGER NOT NULL,
+    data       BLOB NOT NULL
+);
+"""
+
+
+class SqliteStorage:
+    """Durable chain storage over one SQLite database file.
+
+    Implements both :class:`~repro.storage.base.ChainStorage` (the node's
+    write/recovery side) and :class:`~repro.storage.base.ChainReader`
+    (the explorer's read side).  Open ``read_only=True`` for the explorer
+    process so it can never take the writer lock.
+
+    Args:
+        path: database file location (parents created as needed).
+        batch_size: commits also fire automatically once this many blocks
+            are buffered, bounding data loss between head advances.
+        snapshot_interval: heights between full-tree snapshots.
+        keep_snapshots: snapshots retained after each new one.
+        prune_depth: when set, drop block/tx rows more than this many
+            heights below the latest snapshot (pruned-node mode).
+        read_only: open the database for the read tier only.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        batch_size: int = 64,
+        snapshot_interval: int = 256,
+        keep_snapshots: int = 2,
+        prune_depth: int | None = None,
+        read_only: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise StorageError("batch_size must be >= 1")
+        if snapshot_interval < 1:
+            raise StorageError("snapshot_interval must be >= 1")
+        if keep_snapshots < 1:
+            raise StorageError("keep_snapshots must be >= 1")
+        if prune_depth is not None and prune_depth < 0:
+            raise StorageError("prune_depth must be >= 0")
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self.snapshot_interval = snapshot_interval
+        self.keep_snapshots = keep_snapshots
+        self.prune_depth = prune_depth
+        self.read_only = read_only
+        self._pending: list[tuple[Block, float]] = []
+        self._head_hex: str | None = None
+        if read_only:
+            if not self.path.exists():
+                raise StorageError(f"no chain database at {self.path}")
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True, check_same_thread=False
+            )
+            self._conn.execute("PRAGMA busy_timeout=2000")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=2000")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+            self._check_schema_version()
+        self._closed = False
+
+    # -- meta helpers --------------------------------------------------------------
+
+    def _meta_get(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def _meta_set(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    def _check_schema_version(self) -> None:
+        stored = self._meta_get("schema_version")
+        if stored is None:
+            with self._conn:
+                self._meta_set("schema_version", str(SCHEMA_VERSION))
+                self._meta_set("generation", "0")
+        elif int(stored) != SCHEMA_VERSION:
+            raise StorageError(
+                f"chain database {self.path} has schema v{stored}, "
+                f"this build speaks v{SCHEMA_VERSION}"
+            )
+
+    # -- ChainStorage (write + recovery) ------------------------------------------
+
+    def ensure_genesis(self, genesis: Block) -> None:
+        """Bind the store to a genesis block; refuse a foreign one."""
+        self._assert_writable()
+        stored = self._meta_get("genesis_id")
+        if stored is None:
+            with self._conn:
+                self._meta_set("genesis_id", genesis.block_id.hex())
+                self._insert_blocks(
+                    [(genesis, genesis.header.timestamp)]
+                )
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO canon (height, block_id) VALUES (0, ?)",
+                    (genesis.block_id,),
+                )
+        elif stored != genesis.block_id.hex():
+            raise StorageError(
+                f"chain database {self.path} belongs to genesis {stored[:12]}, "
+                f"not {genesis.block_id.hex()[:12]}"
+            )
+
+    def set_members(self, members: Sequence[bytes]) -> None:
+        """Record the consortium member set for the equality read path."""
+        self._assert_writable()
+        with self._conn:
+            self._meta_set("members", json.dumps([m.hex() for m in members]))
+
+    def record_block(self, block: Block, arrival_time: float) -> None:
+        """Buffer one block; durable at the next :meth:`commit`."""
+        self._assert_writable()
+        self._pending.append((block, arrival_time))
+
+    def pending_count(self) -> int:
+        """Blocks buffered but not yet durable."""
+        return len(self._pending)
+
+    def commit(self, head_id: bytes, tree: BlockTree, *, force: bool = False) -> None:
+        """Land the buffered batch and the new head in one transaction."""
+        self._assert_writable()
+        head_hex = head_id.hex()
+        if not force and not self._pending and head_hex == self._head_hex:
+            return
+        with self._conn:
+            self._insert_blocks(self._pending)
+            self._pending.clear()
+            self._update_canon(head_id, tree)
+            self._meta_set("head_id", head_hex)
+            self._bump_generation()
+            self._head_hex = head_hex
+            self._maybe_snapshot(tree)
+
+    def should_commit(self) -> bool:
+        """True once the buffered batch hit ``batch_size``."""
+        return len(self._pending) >= self.batch_size
+
+    def _insert_blocks(self, batch: list[tuple[Block, float]]) -> None:
+        if not batch:
+            return
+        block_rows = []
+        tx_rows = []
+        for block, arrival in batch:
+            block_rows.append(
+                (
+                    block.block_id,
+                    block.parent_hash,
+                    block.height,
+                    block.header.epoch,
+                    block.producer,
+                    block.header.timestamp,
+                    arrival,
+                    len(block.transactions),
+                    block.to_bytes(),
+                )
+            )
+            for position, tx in enumerate(block.transactions):
+                tx_rows.append(
+                    (
+                        tx.tx_id,
+                        block.block_id,
+                        position,
+                        tx.sender,
+                        tx.recipient,
+                        tx.amount,
+                        tx.nonce,
+                    )
+                )
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO blocks (block_id, parent_id, height, epoch, "
+            "producer, timestamp, arrival_time, tx_count, data) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            block_rows,
+        )
+        if tx_rows:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO txs (tx_id, block_id, position, sender, "
+                "recipient, amount, nonce) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                tx_rows,
+            )
+
+    def _update_canon(self, head_id: bytes, tree: BlockTree) -> None:
+        """Incrementally re-point the height → id map at the new head.
+
+        Walks down from the head only until the stored row already
+        matches — O(new blocks + reorg depth) per commit.
+        """
+        head_height = tree.get(head_id).height
+        self._conn.execute("DELETE FROM canon WHERE height > ?", (head_height,))
+        cursor: bytes | None = head_id
+        updates: list[tuple[int, bytes]] = []
+        while cursor is not None:
+            block = tree.get(cursor)
+            row = self._conn.execute(
+                "SELECT block_id FROM canon WHERE height = ?", (block.height,)
+            ).fetchone()
+            if row is not None and bytes(row[0]) == cursor:
+                break
+            updates.append((block.height, cursor))
+            cursor = tree.parent(cursor)
+        if updates:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO canon (height, block_id) VALUES (?, ?)",
+                updates,
+            )
+
+    def _bump_generation(self) -> None:
+        current = int(self._meta_get("generation") or "0")
+        self._meta_set("generation", str(current + 1))
+
+    def _maybe_snapshot(self, tree: BlockTree) -> None:
+        """Apply the snapshot + prune policy after a batch landed."""
+        tip = tree.max_height()
+        last = max(self.last_snapshot_height(), 0)
+        if tip - last < self.snapshot_interval:
+            return
+        row = self._conn.execute("SELECT MAX(seq) FROM blocks").fetchone()
+        snap_seq = int(row[0]) if row and row[0] is not None else 0
+        generation = int(self._meta_get("generation") or "0")
+        self._conn.execute(
+            "INSERT OR REPLACE INTO snapshots (snap_seq, height, generation, data) "
+            "VALUES (?, ?, ?, ?)",
+            (snap_seq, tip, generation, serialize_tree(tree)),
+        )
+        self._conn.execute(
+            "DELETE FROM snapshots WHERE snap_seq NOT IN "
+            "(SELECT snap_seq FROM snapshots ORDER BY snap_seq DESC LIMIT ?)",
+            (self.keep_snapshots,),
+        )
+        if self.prune_depth is not None:
+            floor = tip - self.prune_depth
+            if floor > 1:
+                self._conn.execute(
+                    "DELETE FROM txs WHERE block_id IN "
+                    "(SELECT block_id FROM blocks WHERE height > 0 AND height < ?)",
+                    (floor,),
+                )
+                self._conn.execute(
+                    "DELETE FROM blocks WHERE height > 0 AND height < ?", (floor,)
+                )
+
+    def last_snapshot_height(self) -> int:
+        """Height of the newest stored snapshot, or -1 when none exists."""
+        row = self._conn.execute("SELECT MAX(height) FROM snapshots").fetchone()
+        return int(row[0]) if row and row[0] is not None else -1
+
+    def snapshot_count(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM snapshots").fetchone()
+        return int(row[0])
+
+    def block_row_count(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()
+        return int(row[0])
+
+    def recover(self, finality_window: int | None = 32) -> BlockTree | None:
+        """Rebuild the tree: newest snapshot + incremental replay above it."""
+        if self._meta_get("genesis_id") is None:
+            return None
+        snapshot = self._conn.execute(
+            "SELECT snap_seq, data FROM snapshots ORDER BY snap_seq DESC LIMIT 1"
+        ).fetchone()
+        if snapshot is not None:
+            cutoff_seq = int(snapshot[0])
+            tree = deserialize_tree(
+                bytes(snapshot[1]), finality_window=finality_window
+            )
+        else:
+            genesis_row = self._conn.execute(
+                "SELECT seq, data FROM blocks WHERE height = 0 ORDER BY seq LIMIT 1"
+            ).fetchone()
+            if genesis_row is None:
+                return None
+            cutoff_seq = int(genesis_row[0])
+            tree = BlockTree(
+                Block.from_bytes(bytes(genesis_row[1])),
+                finality_window=finality_window,
+            )
+        rows = self._conn.execute(
+            "SELECT data, arrival_time FROM blocks WHERE seq > ? ORDER BY seq",
+            (cutoff_seq,),
+        )
+        for data, arrival in rows:
+            block = Block.from_bytes(bytes(data))
+            try:
+                tree.add_block(block, float(arrival))
+            except DuplicateBlockError:
+                # A block can sit both inside the snapshot and in a row
+                # committed just after it; the snapshot copy wins.
+                continue
+        return tree
+
+    def close(self) -> None:
+        """Checkpoint the WAL back into the main file and release handles."""
+        if self._closed:
+            return
+        if not self.read_only:
+            if self._pending:
+                raise StorageError(
+                    f"{len(self._pending)} recorded blocks were never committed; "
+                    "commit(force=True) before close()"
+                )
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        self._conn.close()
+        self._closed = True
+
+    def _assert_writable(self) -> None:
+        if self.read_only:
+            raise StorageError("storage opened read-only")
+        if self._closed:
+            raise StorageError("storage already closed")
+
+    # -- ChainReader (the explorer's read tier) ------------------------------------
+
+    def generation(self) -> int:
+        """Commit counter; response caches invalidate when it moves."""
+        return int(self._meta_get("generation") or "0")
+
+    def members(self) -> list[bytes]:
+        raw = self._meta_get("members")
+        if raw is None:
+            return []
+        return [bytes.fromhex(h) for h in json.loads(raw)]
+
+    def _canonical_id_at(self, height: int) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT block_id FROM canon WHERE height = ?", (height,)
+        ).fetchone()
+        return None if row is None else bytes(row[0])
+
+    def _is_canonical(self, block_id: bytes, height: int) -> bool:
+        return self._canonical_id_at(height) == block_id
+
+    def _block_record(self, row: sqlite3.Row | tuple) -> dict[str, Any]:
+        (block_id, parent_id, height, epoch, producer, timestamp, arrival, tx_count) = (
+            bytes(row[0]),
+            bytes(row[1]),
+            int(row[2]),
+            int(row[3]),
+            bytes(row[4]),
+            float(row[5]),
+            float(row[6]),
+            int(row[7]),
+        )
+        return {
+            "block_id": block_id.hex(),
+            "parent_id": parent_id.hex(),
+            "height": height,
+            "epoch": epoch,
+            "producer": producer.hex(),
+            "timestamp": timestamp,
+            "arrival_time": arrival,
+            "tx_count": tx_count,
+            "canonical": self._is_canonical(block_id, height),
+        }
+
+    _BLOCK_COLS = (
+        "block_id, parent_id, height, epoch, producer, timestamp, "
+        "arrival_time, tx_count"
+    )
+
+    def head(self) -> dict[str, Any] | None:
+        head_hex = self._meta_get("head_id")
+        if head_hex is None:
+            return None
+        return self.block_by_id(bytes.fromhex(head_hex))
+
+    def tip_height(self) -> int:
+        """Height of the stored main-chain tip (-1 for an empty store)."""
+        row = self._conn.execute("SELECT MAX(height) FROM canon").fetchone()
+        return int(row[0]) if row and row[0] is not None else -1
+
+    def block_by_id(self, block_id: bytes) -> dict[str, Any] | None:
+        row = self._conn.execute(
+            f"SELECT {self._BLOCK_COLS} FROM blocks WHERE block_id = ?",  # noqa: S608
+            (block_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        record = self._block_record(row)
+        tx_ids = self._conn.execute(
+            "SELECT tx_id FROM txs WHERE block_id = ? ORDER BY position",
+            (block_id,),
+        ).fetchall()
+        record["tx_ids"] = [bytes(r[0]).hex() for r in tx_ids]
+        return record
+
+    def block_by_height(self, height: int) -> dict[str, Any] | None:
+        block_id = self._canonical_id_at(height)
+        if block_id is None:
+            return None
+        record = self.block_by_id(block_id)
+        if record is None:
+            # Pruned body: the canon map outlives the row.
+            return {
+                "block_id": block_id.hex(),
+                "height": height,
+                "canonical": True,
+                "pruned": True,
+            }
+        return record
+
+    def blocks_page(self, start: int | None, limit: int) -> list[dict[str, Any]]:
+        tip = self.tip_height()
+        if tip < 0:
+            return []
+        top = tip if start is None else min(start, tip)
+        qualified = ", ".join(
+            f"blocks.{col.strip()}" for col in self._BLOCK_COLS.split(",")
+        )
+        rows = self._conn.execute(
+            f"SELECT {qualified} FROM blocks "  # noqa: S608
+            "JOIN canon USING (block_id) "
+            "WHERE canon.height <= ? ORDER BY canon.height DESC LIMIT ?",
+            (top, limit),
+        ).fetchall()
+        return [self._block_record(row) for row in rows]
+
+    def tx_by_id(self, tx_id: bytes) -> dict[str, Any] | None:
+        row = self._conn.execute(
+            "SELECT block_id, position, sender, recipient, amount, nonce "
+            "FROM txs WHERE tx_id = ?",
+            (tx_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        block_id = bytes(row[0])
+        block_row = self._conn.execute(
+            "SELECT height FROM blocks WHERE block_id = ?", (block_id,)
+        ).fetchone()
+        height = int(block_row[0]) if block_row is not None else None
+        return {
+            "tx_id": tx_id.hex(),
+            "block_id": block_id.hex(),
+            "position": int(row[1]),
+            "sender": bytes(row[2]).hex(),
+            "recipient": bytes(row[3]).hex(),
+            "amount": int(row[4]),
+            "nonce": int(row[5]),
+            "height": height,
+            "canonical": (
+                self._is_canonical(block_id, height) if height is not None else False
+            ),
+        }
+
+    def account_summary(self, address: bytes, limit: int) -> dict[str, Any] | None:
+        sent = int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM txs WHERE sender = ?", (address,)
+            ).fetchone()[0]
+        )
+        received = int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM txs WHERE recipient = ?", (address,)
+            ).fetchone()[0]
+        )
+        produced = int(
+            self._conn.execute(
+                "SELECT COUNT(*) FROM blocks JOIN canon USING (block_id) "
+                "WHERE producer = ?",
+                (address,),
+            ).fetchone()[0]
+        )
+        if sent == 0 and received == 0 and produced == 0 and (
+            address not in self.members()
+        ):
+            return None
+        rows = self._conn.execute(
+            "SELECT txs.tx_id FROM txs JOIN blocks USING (block_id) "
+            "WHERE txs.sender = ? OR txs.recipient = ? "
+            "ORDER BY blocks.height DESC, txs.position DESC LIMIT ?",
+            (address, address, limit),
+        ).fetchall()
+        return {
+            "address": address.hex(),
+            "sent": sent,
+            "received": received,
+            "blocks_produced": produced,
+            "recent_tx_ids": [bytes(r[0]).hex() for r in rows],
+        }
+
+    def producer_counts(self) -> dict[bytes, int]:
+        rows = self._conn.execute(
+            "SELECT producer, COUNT(*) FROM blocks JOIN canon USING (block_id) "
+            "WHERE blocks.height > 0 GROUP BY producer"
+        ).fetchall()
+        return {bytes(producer): int(count) for producer, count in rows}

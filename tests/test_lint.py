@@ -680,6 +680,88 @@ def test_rep006_gateway_modules_are_clean(tmp_path):
     assert result.ok
 
 
+def test_rep006_storage_package_environ_is_flagged(tmp_path):
+    # The durable-storage tier is inside lint scope: filesystem locations
+    # and tuning must come through the node.config gateway, not raw env.
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/storage/paths.py": """
+                import os
+
+                def default_data_dir() -> str:
+                    return os.environ.get("REPRO_DATA_DIR", "/tmp/repro")
+            """,
+            "src/repro/explorer/knobs.py": """
+                from os import getenv
+
+                def cache_size() -> int:
+                    return int(getenv("EXPLORER_CACHE", "256"))
+            """,
+        },
+    )
+    assert codes(result) == ["REP006", "REP006"]
+
+
+def test_rep006_storage_via_gateway_is_clean(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/node/config.py": """
+                import os
+
+                def env_setting(name: str, default: str | None = None):
+                    return os.environ.get(name, default)
+            """,
+            "src/repro/storage/paths.py": """
+                from repro.node.config import env_setting
+
+                def default_data_dir() -> str:
+                    return env_setting("REPRO_DATA_DIR", "/tmp/repro")
+            """,
+        },
+    )
+    assert result.ok
+
+
+def test_rep006_storage_pickle_flagged_sqlite_allowed(tmp_path):
+    # sqlite3 is the sanctioned durable format; pickle snapshots are not.
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/storage/snapshots.py": """
+                import pickle
+
+                def snapshot(tree) -> bytes:
+                    return pickle.dumps(tree)
+            """,
+            "src/repro/storage/database.py": """
+                import sqlite3
+
+                def open_db(path: str):
+                    return sqlite3.connect(path)
+            """,
+        },
+    )
+    assert codes(result) == ["REP006"]
+    assert "pickle" in result.diagnostics[0].message
+
+
+def test_rep006_storage_waiver_honored(tmp_path):
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/storage/legacy.py": """
+                import os
+
+                def migration_root() -> str:
+                    return os.environ["MIGRATE"]  # repro: allow[REP006]
+            """,
+        },
+    )
+    assert result.ok
+
+
 def test_rep006_suppressed_and_unused(tmp_path):
     result = run_lint(
         tmp_path,

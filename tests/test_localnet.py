@@ -88,7 +88,8 @@ class TestDriverPieces:
 
 
 class TestEndToEnd:
-    def test_three_node_cluster_converges(self):
+    def test_three_node_cluster_converges(self, tmp_path):
+        data_dir = tmp_path / "data"
         report = run_localnet(
             LocalnetConfig(
                 nodes=3,
@@ -96,6 +97,7 @@ class TestEndToEnd:
                 deadline=45.0,
                 tx_rate=10.0,
                 i0=0.3,
+                data_dir=str(data_dir),
             )
         )
         assert report.converged, report.summary()
@@ -104,3 +106,12 @@ class TestEndToEnd:
         assert report.tps >= 0.0
         assert sorted(report.node_heights) == [0, 1, 2]
         assert "CONVERGED" in report.summary()
+        # Teardown cleanliness: a SIGTERMed node must flush and checkpoint
+        # its storage — leaked WAL/journal/temp files mean the shutdown
+        # path skipped the storage close.
+        assert report.clean_shutdown, "teardown needed SIGKILL"
+        assert report.leaked_files == [], (
+            f"storage shutdown leaked: {report.leaked_files}"
+        )
+        for node_id in range(3):
+            assert (data_dir / f"node-{node_id}.db").exists()

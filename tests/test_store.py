@@ -84,6 +84,48 @@ class TestFormatDiscipline:
         with pytest.raises(CodecError):
             deserialize_tree(data + b"\x00")
 
+    def test_truncated_stream_rejected(self, genesis):
+        """Every possible truncation point must fail loudly, never load."""
+        data = serialize_tree(build_forked_tree(genesis))
+        for cut in (3, 5, len(data) // 2, len(data) - 1):
+            with pytest.raises(CodecError):
+                deserialize_tree(data[:cut])
+
+    def test_future_format_version_rejected(self, genesis):
+        """A stream from a newer build must be refused, not misparsed."""
+        tree = build_forked_tree(genesis)
+        data = bytearray(serialize_tree(tree))
+        data[4] = FORMAT_VERSION + 7
+        with pytest.raises(CodecError, match="version"):
+            deserialize_tree(bytes(data))
+
+    def test_duplicate_block_payload_rejected(self, genesis):
+        """A corrupt stream repeating a block raises CodecError, not a
+        tree-internal DuplicateBlockError."""
+        from repro.chain.codec import Reader, Writer
+
+        tree = build_forked_tree(genesis)
+        reader = Reader(serialize_tree(tree))
+        magic = reader.read_bytes_raw(4)
+        version = reader.read_varint()
+        genesis_bytes = reader.read_bytes()
+        count = reader.read_varint()
+        entries = [
+            (reader.read_bytes(), reader.read_float()) for _ in range(count)
+        ]
+        writer = Writer()
+        writer.write_bytes_raw(magic)
+        writer.write_varint(version)
+        writer.write_bytes(genesis_bytes)
+        writer.write_varint(count + 1)
+        for block_bytes, arrival in entries:
+            writer.write_bytes(block_bytes)
+            writer.write_float(arrival)
+        writer.write_bytes(entries[0][0])  # repeat the first block
+        writer.write_float(entries[0][1])
+        with pytest.raises(CodecError, match="rejected"):
+            deserialize_tree(writer.getvalue())
+
     def test_simulation_tree_roundtrip(self):
         """A real simulated tree (forks, signatures absent) round-trips."""
         from tests.test_powfamily import make_fleet, run_to_height
