@@ -51,6 +51,27 @@ class ExplorerServer(ThreadingHTTPServer):
         self.cache = ResponseCache(cache_capacity)
         self.reader_lock = threading.Lock()
 
+    def respond(self, path: str, query: dict[str, str], cache_key: str) -> tuple[bytes, str]:
+        """Produce ``(body, etag)`` for one request, entirely under the lock.
+
+        This is the only place handler threads may touch the sqlite
+        reader *or* the response cache: the connection is shared across
+        threads and :class:`ResponseCache` is not internally locked, so
+        the generation read, cache probe, reader query, and cache fill
+        must be one critical section — otherwise two threads can race a
+        commit and cache a pre-commit body under a post-commit generation.
+        """
+        with self.reader_lock:
+            generation = self.reader.generation()
+            cached = self.cache.get(generation, cache_key)
+            if cached is not None:
+                return cached
+            payload = route(self.reader, path, query)
+            body = json.dumps(payload, sort_keys=True).encode()
+            etag = make_etag(body)
+            self.cache.put(generation, cache_key, body, etag)
+            return body, etag
+
 
 class ExplorerHandler(BaseHTTPRequestHandler):
     """Routes GETs through the service layer with ETag/304 handling."""
@@ -66,16 +87,7 @@ class ExplorerHandler(BaseHTTPRequestHandler):
         query = dict(parse_qsl(parsed.query))
         cache_key = parsed.path + ("?" + parsed.query if parsed.query else "")
         try:
-            with self.server.reader_lock:
-                generation = self.server.reader.generation()
-                cached = self.server.cache.get(generation, cache_key)
-                if cached is None:
-                    payload = route(self.server.reader, parsed.path, query)
-                    body = json.dumps(payload, sort_keys=True).encode()
-                    etag = make_etag(body)
-                    self.server.cache.put(generation, cache_key, body, etag)
-                else:
-                    body, etag = cached
+            body, etag = self.server.respond(parsed.path, query, cache_key)
         except NotFoundError as exc:
             self._send_error(404, str(exc))
             return

@@ -4,8 +4,10 @@ The evaluation pipeline depends on bit-determinism: the experiment engine
 asserts parallel runs are byte-identical to serial runs, and the result
 cache replays sha256-keyed entries as if they were fresh physics.  One
 unseeded RNG call, wall-clock read, or unordered-set iteration in a
-consensus path silently poisons every figure the reproduction reports.
-This package encodes those invariants as named, testable AST rules:
+consensus path silently poisons every figure the reproduction reports —
+and the live asyncio/threaded tier adds its own failure modes (a blocked
+event loop is indistinguishable from a Byzantine peer).  This package
+encodes those invariants as named, testable AST rules:
 
 ========  ==============================================================
  code      invariant
@@ -21,11 +23,27 @@ This package encodes those invariants as named, testable AST rules:
            after receipt
  REP006    no ``pickle`` across the engine's process boundary; no
            ``os.environ`` reads outside the sanctioned config gateway
+ REP010    interprocedural determinism taint — no wall-clock / RNG /
+           environ / unordered-set source reaching a serde, hash, or
+           emit path through the call graph (trace in the diagnostic)
+ REP020    no blocking calls (``time.sleep``, sync socket/sqlite I/O)
+           inside ``async def`` bodies
+ REP021    ``async def`` results must be awaited or scheduled, never
+           discarded
+ REP022    ``asyncio.create_task`` handles must be retained
+ REP023    state written from both a thread entry point and other code
+           needs a lock on the thread side
+ REP024    sqlite connections used from handler threads need a lock
+ REP030    every wire message kind has an encoder, a decoder, and a
+           node-side handler (protocol-dispatch completeness)
 ========  ==============================================================
 
 Findings can be silenced per line with ``# repro: allow[CODE]`` (several
 codes comma-separated); suppressions that silence nothing are themselves
-reported (REP000) so stale waivers cannot accumulate.
+reported (REP000) so stale waivers cannot accumulate.  Tree-wide
+acknowledged findings live in a committed baseline
+(``--baseline lint-baseline.json``) whose entries all carry written
+justifications.
 
 Run it as ``python -m repro.lint src tests benchmarks`` or via the main
 CLI as ``python -m repro lint``.  See ``docs/static-analysis.md``.
@@ -33,12 +51,21 @@ CLI as ``python -m repro lint``.  See ``docs/static-analysis.md``.
 
 from __future__ import annotations
 
-from repro.lint.config import DEFAULT_CONFIG, LintConfig, SerdeAnchor, UnionRegistry
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.config import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    SerdeAnchor,
+    UnionRegistry,
+    WireProtocol,
+)
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.engine import LintResult, iter_python_files, lint_paths
 from repro.lint.registry import RULES, Rule, all_rules
 
 __all__ = [
+    "Baseline",
+    "BaselineError",
     "DEFAULT_CONFIG",
     "Diagnostic",
     "LintConfig",
@@ -47,6 +74,7 @@ __all__ = [
     "Rule",
     "SerdeAnchor",
     "UnionRegistry",
+    "WireProtocol",
     "all_rules",
     "iter_python_files",
     "lint_paths",

@@ -1,0 +1,491 @@
+"""Async and thread-safety rules (REP020–REP024) for the live tier.
+
+The live deployment path (``repro.live``) runs consensus on a real
+asyncio loop, and the explorer (``repro.explorer``) serves reads from a
+``ThreadingHTTPServer`` over a shared sqlite connection.  Both inherit
+the simulator's correctness claims only if the event loop never stalls
+and shared state never races: a blocked loop misses heartbeats and is
+indistinguishable from a Byzantine peer to everyone else, and an
+unlocked cross-thread sqlite read returns torn rows.  These rules encode
+the concrete failure modes as AST checks.
+
+REP020, REP022, REP023 and REP024 are file-local (their output is safe
+to replay from the incremental cache); REP021 needs the project function
+table to know which callees are ``async def`` and therefore runs as a
+project check over per-file facts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.context import FileContext
+    from repro.lint.symbols import ProjectSymbols
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+_WRITE_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _walk_own_body(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs/classes."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _call_display(func: ast.expr) -> str:
+    parts: list[str] = []
+    current = func
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    return ".".join(reversed(parts)) if parts else "<call>"
+
+
+class _ThreadEntryPoints:
+    """Which functions/methods of a file run off the main thread.
+
+    Three recognizers, matching how this codebase (and the stdlib) spawn
+    threads: ``threading.Thread(target=fn)`` arguments, ``run()`` methods
+    of ``Thread`` subclasses, and ``do_*`` / ``run`` handler methods of
+    classes based on the threading HTTP server machinery.
+    """
+
+    def __init__(self, ctx: "FileContext", thread_runner_bases: frozenset[str]) -> None:
+        self.names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                callee = _call_display(node.func)
+                if resolved != "threading.Thread" and not callee.endswith("Thread"):
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "target":
+                        continue
+                    target = keyword.value
+                    if isinstance(target, ast.Name):
+                        self.names.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        self.names.add(target.attr)
+            elif isinstance(node, ast.ClassDef):
+                bases = {
+                    base.id if isinstance(base, ast.Name) else base.attr
+                    for base in node.bases
+                    if isinstance(base, (ast.Name, ast.Attribute))
+                }
+                if not bases & thread_runner_bases:
+                    continue
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if child.name == "run" or child.name.startswith("do_"):
+                            self.names.add(child.name)
+
+    def covers(self, name: str) -> bool:
+        return name in self.names
+
+
+def _parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _under_lock(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], lock_re: re.Pattern[str]
+) -> bool:
+    """True when ``node`` sits inside ``with <something lock-like>:``."""
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                for sub in ast.walk(item.context_expr):
+                    name: str | None = None
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    if name is not None and lock_re.search(name):
+                        return True
+        current = parents.get(current)
+    return False
+
+
+def _assign_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """REP020 — ``async def`` bodies must never block the event loop.
+
+    A ``time.sleep`` (or sync socket / sqlite / subprocess call) inside a
+    coroutine freezes *every* task on the loop: heartbeats stop, peers
+    time out, and the node looks Byzantine from the outside.  Use
+    ``await asyncio.sleep(...)``, loop executors
+    (``loop.run_in_executor``), or the async socket APIs.  Nested
+    synchronous ``def``s are skipped — they are frequently executor or
+    thread targets.
+    """
+
+    code = "REP020"
+    name = "blocking-in-async"
+    summary = "no blocking calls (time.sleep, sync I/O) inside async def"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_repro_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in _walk_own_body(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                resolved = ctx.resolve(child.func)
+                display = resolved or _call_display(child.func)
+                blocking = display in self.config.blocking_calls or any(
+                    display.startswith(prefix)
+                    for prefix in self.config.blocking_prefixes
+                )
+                if blocking:
+                    yield self.diagnostic(
+                        ctx,
+                        child.lineno,
+                        child.col_offset,
+                        f"blocking call {display}() inside async def "
+                        f"{node.name}(); it stalls the event loop — use the "
+                        "async equivalent or loop.run_in_executor",
+                    )
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    """REP021 — calling an ``async def`` without ``await`` does nothing.
+
+    The call builds a coroutine object and throws it away; the body never
+    runs, no exception surfaces, and CPython's RuntimeWarning fires only
+    at GC time.  The handshake you thought you sent was never sent.
+    Detection is cross-module: the discarded call sites are per-file
+    facts, matched here against the project-wide ``async def`` table.
+    """
+
+    code = "REP021"
+    name = "unawaited-coroutine"
+    summary = "async function results must be awaited or scheduled"
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        async_functions = {
+            qualname
+            for qualname, facts in project.functions.items()
+            if facts.is_async
+        }
+        for record in project.files.values():
+            if not self.config.is_repro_module(record.module):
+                continue
+            for call in record.discarded_calls:
+                if not any(t in async_functions for t in call.targets):
+                    continue
+                yield Diagnostic(
+                    path=record.display_path,
+                    line=call.line,
+                    col=call.col,
+                    code=self.code,
+                    message=(
+                        f"result of async function {call.display}() is "
+                        "discarded; the coroutine never runs — await it or "
+                        "schedule it with asyncio.create_task"
+                    ),
+                )
+
+
+@register
+class DroppedTaskRule(Rule):
+    """REP022 — ``create_task`` results must be retained.
+
+    The event loop keeps only a *weak* reference to tasks; a task whose
+    handle is dropped can be garbage-collected mid-flight, silently
+    cancelling the work (the CPython docs call this out explicitly).
+    Keep the handle in a collection the owner cancels on shutdown, or
+    attach a done-callback that surfaces failures.
+    """
+
+    code = "REP022"
+    name = "dropped-task"
+    summary = "retain asyncio.create_task handles; dropped tasks can vanish"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_repro_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            display = _call_display(call.func)
+            if display.split(".")[-1] in _TASK_SPAWNERS:
+                yield self.diagnostic(
+                    ctx,
+                    call.lineno,
+                    call.col_offset,
+                    f"{display}() result dropped; the loop holds only a weak "
+                    "reference, so the task may be garbage-collected before "
+                    "it finishes — retain the handle and cancel it on "
+                    "shutdown",
+                )
+
+
+@register
+class UnlockedSharedStateRule(Rule):
+    """REP023 — state shared with a thread needs a lock on the thread side.
+
+    A module global (via ``global``) or instance attribute written both
+    by a thread entry point (``Thread`` target, ``run()``, ``do_*``
+    handler) and by other code races unless the thread-side writes hold a
+    lock: torn updates are rare enough to survive testing and frequent
+    enough to corrupt a week-long run.  Constructor writes
+    (``__init__``-family) count as initialization, not sharing.
+    """
+
+    code = "REP023"
+    name = "unlocked-shared-state"
+    summary = "guard state written from both a thread target and elsewhere"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_repro_module(ctx.module):
+            return
+        entries = _ThreadEntryPoints(ctx, self.config.thread_runner_bases)
+        if not entries.names:
+            return
+        lock_re = re.compile(self.config.lock_name_pattern, re.IGNORECASE)
+        yield from self._check_globals(ctx, entries, lock_re)
+        yield from self._check_attributes(ctx, entries, lock_re)
+
+    def _check_globals(
+        self,
+        ctx: "FileContext",
+        entries: _ThreadEntryPoints,
+        lock_re: re.Pattern[str],
+    ) -> Iterator[Diagnostic]:
+        # name → {function_name: [write nodes]}
+        writes: dict[str, dict[str, list[ast.expr]]] = {}
+        lock_state: dict[ast.expr, bool] = {}
+        for function in _functions(ctx.tree):
+            declared: set[str] = set()
+            for stmt in _walk_own_body(function):
+                if isinstance(stmt, ast.Global):
+                    declared.update(stmt.names)
+            if not declared:
+                continue
+            parents = _parent_map(function)
+            for node in _walk_own_body(function):
+                for target in _assign_targets(node):
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        writes.setdefault(target.id, {}).setdefault(
+                            function.name, []
+                        ).append(target)
+                        lock_state[target] = _under_lock(target, parents, lock_re)
+        for name, by_function in writes.items():
+            entry_fns = {fn for fn in by_function if entries.covers(fn)}
+            other_fns = set(by_function) - entry_fns
+            if not entry_fns or not other_fns:
+                continue
+            for fn in sorted(entry_fns):
+                for target in by_function[fn]:
+                    if lock_state.get(target, False):
+                        continue
+                    yield self.diagnostic(
+                        ctx,
+                        target.lineno,
+                        target.col_offset,
+                        f"global {name!r} written from thread entry {fn}() "
+                        f"and from {', '.join(sorted(other_fns))}() without a "
+                        "lock; wrap the thread-side write in the shared lock",
+                    )
+
+    def _check_attributes(
+        self,
+        ctx: "FileContext",
+        entries: _ThreadEntryPoints,
+        lock_re: re.Pattern[str],
+    ) -> Iterator[Diagnostic]:
+        for klass in ast.walk(ctx.tree):
+            if not isinstance(klass, ast.ClassDef):
+                continue
+            # attr → {method_name: [write nodes]}
+            writes: dict[str, dict[str, list[ast.expr]]] = {}
+            lock_state: dict[ast.expr, bool] = {}
+            for method in klass.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _WRITE_EXEMPT_METHODS:
+                    continue
+                parents = _parent_map(method)
+                for node in _walk_own_body(method):
+                    for target in _assign_targets(node):
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            writes.setdefault(target.attr, {}).setdefault(
+                                method.name, []
+                            ).append(target)
+                            lock_state[target] = _under_lock(
+                                target, parents, lock_re
+                            )
+            for attr, by_method in writes.items():
+                if lock_re.search(attr):
+                    continue  # assigning the lock object itself
+                entry_fns = {m for m in by_method if entries.covers(m)}
+                other_fns = set(by_method) - entry_fns
+                if not entry_fns or not other_fns:
+                    continue
+                for method_name in sorted(entry_fns):
+                    for target in by_method[method_name]:
+                        if lock_state.get(target, False):
+                            continue
+                        yield self.diagnostic(
+                            ctx,
+                            target.lineno,
+                            target.col_offset,
+                            f"attribute self.{attr} written from thread entry "
+                            f"{method_name}() and from "
+                            f"{', '.join(sorted(other_fns))}() without a "
+                            "lock; wrap the thread-side write in the shared "
+                            "lock",
+                        )
+
+
+@register
+class SqliteCrossThreadRule(Rule):
+    """REP024 — sqlite connections must not cross threads unguarded.
+
+    A ``sqlite3.Connection`` is not thread-safe; with
+    ``check_same_thread=False`` nothing stops two handler threads from
+    interleaving statements on one connection mid-transaction.  Any use
+    of a connection from a thread entry point that did not open it must
+    happen under a lock.
+    """
+
+    code = "REP024"
+    name = "sqlite-cross-thread"
+    summary = "sqlite connections used from handler threads need a lock"
+
+    def check_file(
+        self, ctx: "FileContext", project: "ProjectSymbols"
+    ) -> Iterator[Diagnostic]:
+        if not self.config.is_repro_module(ctx.module):
+            return
+        bindings = self._sqlite_bindings(ctx)
+        if not bindings:
+            return
+        entries = _ThreadEntryPoints(ctx, self.config.thread_runner_bases)
+        if not entries.names:
+            return
+        lock_re = re.compile(self.config.lock_name_pattern, re.IGNORECASE)
+        for function in _functions(ctx.tree):
+            if not entries.covers(function.name):
+                continue
+            parents = _parent_map(function)
+            seen: set[tuple[int, int]] = set()
+            for node in _walk_own_body(function):
+                name = self._connection_use(node, bindings, binder=function.name)
+                if name is None:
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen or _under_lock(node, parents, lock_re):
+                    continue
+                seen.add(key)
+                yield self.diagnostic(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"sqlite connection {name!r} used from thread entry "
+                    f"{function.name}() without holding a lock; sqlite "
+                    "connections are not thread-safe across threads — wrap "
+                    "the access in the owning lock",
+                )
+
+    @staticmethod
+    def _is_connect_call(ctx: "FileContext", value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        resolved = ctx.resolve(value.func)
+        if resolved == "sqlite3.connect":
+            return True
+        return _call_display(value.func).endswith("sqlite3.connect")
+
+    def _sqlite_bindings(self, ctx: "FileContext") -> dict[str, str | None]:
+        """Connection name → name of the function that opened it.
+
+        Covers ``conn = sqlite3.connect(...)`` and
+        ``self.conn = sqlite3.connect(...)`` (keyed by the bare/attr
+        name); module-level bindings map to ``None``.
+        """
+        bindings: dict[str, str | None] = {}
+
+        def record(target: ast.expr, owner: str | None) -> None:
+            if isinstance(target, ast.Name):
+                bindings[target.id] = owner
+            elif isinstance(target, ast.Attribute):
+                bindings[target.attr] = owner
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and self._is_connect_call(ctx, stmt.value):
+                for target in stmt.targets:
+                    record(target, None)
+        for function in _functions(ctx.tree):
+            for node in _walk_own_body(function):
+                if isinstance(node, ast.Assign) and self._is_connect_call(
+                    ctx, node.value
+                ):
+                    for target in node.targets:
+                        record(target, function.name)
+        return bindings
+
+    @staticmethod
+    def _connection_use(
+        node: ast.AST, bindings: dict[str, str | None], binder: str
+    ) -> str | None:
+        """Name of a bound connection this node touches, if cross-thread."""
+        name: str | None = None
+        if isinstance(node, ast.Attribute) and node.attr in bindings:
+            name = node.attr
+        elif isinstance(node, ast.Name) and node.id in bindings:
+            name = node.id
+        if name is None:
+            return None
+        if bindings[name] == binder:
+            return None  # the entry opened its own connection: thread-local
+        return name

@@ -1,0 +1,198 @@
+"""Committed finding baselines (``--baseline`` / ``--update-baseline``).
+
+A baseline lets a new rule land *strict* without a big-bang cleanup: the
+pre-existing findings are recorded — each with a human-written
+justification — and only *new* diagnostics fail the build.  Three
+properties keep baselines honest:
+
+* **Fingerprints are line-independent** (``sha256(path|code|message)``),
+  so unrelated edits that shift line numbers do not invalidate entries —
+  but any change to the finding itself (or its file) does.
+* **Justifications are mandatory.**  Loading a baseline whose entry has
+  an empty or placeholder (``TODO``) justification is a usage error:
+  a waiver nobody can explain is a waiver nobody can audit.
+* **Stale entries are findings.**  An entry whose file was linted but
+  which matched nothing is reported as REP000, exactly like an unused
+  inline suppression — baselines must shrink over time, never rot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import UNUSED_SUPPRESSION, Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.engine import LintResult
+
+_PLACEHOLDER = "TODO: justify this waiver"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unusable (missing, corrupt, or unjustified)."""
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable, line-independent identity of one finding."""
+    text = f"{diagnostic.path}|{diagnostic.code}|{diagnostic.message}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged pre-existing finding."""
+
+    code: str
+    path: str
+    fingerprint: str
+    justification: str
+
+
+@dataclass
+class Baseline:
+    """The committed set of acknowledged findings."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def load(cls, path: str | Path, *, strict: bool = True) -> "Baseline":
+        """Read a baseline file.
+
+        ``strict`` (the default, used when *applying* a baseline) rejects
+        entries with empty or placeholder justifications.  The
+        ``--update-baseline`` path loads with ``strict=False`` so it can
+        preserve whatever justifications already exist.
+        """
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        entries_raw = raw.get("entries")
+        if not isinstance(entries_raw, list):
+            raise BaselineError(f"baseline {path} has no 'entries' list")
+        entries: list[BaselineEntry] = []
+        for record in entries_raw:
+            try:
+                entry = BaselineEntry(
+                    code=record["code"],
+                    path=record["path"],
+                    fingerprint=record["fingerprint"],
+                    justification=str(record.get("justification", "")).strip(),
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {path} entry {record!r} is malformed"
+                ) from exc
+            if strict and (
+                not entry.justification or entry.justification.startswith("TODO")
+            ):
+                raise BaselineError(
+                    f"baseline {path} entry {entry.fingerprint} "
+                    f"({entry.code} in {entry.path}) has no written "
+                    "justification; every waiver must explain itself"
+                )
+            entries.append(entry)
+        return cls(entries=entries)
+
+    def apply(self, result: "LintResult") -> "LintResult":
+        """Filter acknowledged findings; surface stale entries as REP000.
+
+        An entry is *stale* when its file was part of this run and no
+        diagnostic matched it.  Entries for files outside the linted
+        paths are left alone (a partial run proves nothing about them).
+        """
+        by_fingerprint = {entry.fingerprint: entry for entry in self.entries}
+        matched: set[str] = set()
+        kept: list[Diagnostic] = []
+        for diagnostic in result.diagnostics:
+            print_ = fingerprint(diagnostic)
+            if print_ in by_fingerprint:
+                matched.add(print_)
+                continue
+            kept.append(diagnostic)
+        linted = set(result.checked_paths)
+        for entry in self.entries:
+            if entry.fingerprint in matched:
+                continue
+            if entry.path not in linted:
+                continue
+            kept.append(
+                Diagnostic(
+                    path=entry.path,
+                    line=1,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=(
+                        f"stale baseline entry {entry.fingerprint} "
+                        f"({entry.code}) matches no current finding; remove "
+                        "it from the baseline"
+                    ),
+                )
+            )
+        return replace(
+            result,
+            diagnostics=sorted(set(kept)),
+            baselined=len(matched),
+        )
+
+    @classmethod
+    def from_result(
+        cls, result: "LintResult", previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline covering every current finding.
+
+        Justifications survive from ``previous`` by fingerprint; genuinely
+        new entries get the placeholder, which :meth:`load` rejects — the
+        author must replace it before the baseline is usable.
+        """
+        existing = {
+            entry.fingerprint: entry for entry in (previous.entries if previous else [])
+        }
+        entries: list[BaselineEntry] = []
+        seen: set[str] = set()
+        for diagnostic in result.diagnostics:
+            print_ = fingerprint(diagnostic)
+            if print_ in seen:
+                continue
+            seen.add(print_)
+            prior = existing.get(print_)
+            entries.append(
+                BaselineEntry(
+                    code=diagnostic.code,
+                    path=diagnostic.path,
+                    fingerprint=print_,
+                    justification=(
+                        prior.justification if prior is not None else _PLACEHOLDER
+                    ),
+                )
+            )
+        entries.sort(key=lambda e: (e.path, e.code, e.fingerprint))
+        return cls(entries=entries)
+
+    def write(self, path: str | Path) -> None:
+        payload = {
+            "comment": (
+                "Acknowledged pre-existing lint findings. Every entry MUST "
+                "carry a written justification; loading fails otherwise. "
+                "Regenerate with: python -m repro.lint --baseline "
+                "lint-baseline.json --update-baseline"
+            ),
+            "entries": [
+                {
+                    "code": entry.code,
+                    "path": entry.path,
+                    "fingerprint": entry.fingerprint,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

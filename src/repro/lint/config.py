@@ -45,6 +45,28 @@ class UnionRegistry:
 
 
 @dataclass(frozen=True)
+class WireProtocol:
+    """The wire-format dispatch surface REP030 keeps complete.
+
+    ``wire_module`` owns the codec (``encode``/``decode`` functions whose
+    bodies branch on message ``kind``); ``kind_modules`` declare the
+    ``KIND_*`` string constants; ``handler_modules`` are where a received
+    message of each kind must be dispatched node-side.
+    """
+
+    wire_module: str = "repro.net.wire"
+    kind_modules: tuple[str, ...] = ("repro.net.message", "repro.net.wire")
+    handler_modules: tuple[str, ...] = (
+        "repro.node.sync",
+        "repro.consensus.powfamily",
+        "repro.live.transport",
+    )
+    encode_name_pattern: str = r"encode"
+    decode_name_pattern: str = r"decode"
+    constant_prefix: str = "KIND_"
+
+
+@dataclass(frozen=True)
 class LintConfig:
     """Everything the rules need to know about the project layout."""
 
@@ -172,6 +194,55 @@ class LintConfig:
     pickle_modules: frozenset[str] = frozenset(
         {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve", "marshal"}
     )
+
+    #: Calls that block the running thread — and therefore the event loop
+    #: when made inside an ``async def`` body (REP020).
+    blocking_calls: frozenset[str] = frozenset(
+        {
+            "time.sleep",
+            "os.system",
+            "os.wait",
+            "os.waitpid",
+            "subprocess.run",
+            "subprocess.call",
+            "subprocess.check_call",
+            "subprocess.check_output",
+            "urllib.request.urlopen",
+            "socket.create_connection",
+            "socket.getaddrinfo",
+            "socket.gethostbyname",
+            "select.select",
+            "input",
+        }
+    )
+
+    #: Dotted prefixes whose entire API is synchronous I/O (REP020):
+    #: any resolved call under these blocks the loop.
+    blocking_prefixes: tuple[str, ...] = ("sqlite3.", "requests.", "shutil.")
+
+    #: Class bases whose instances run on their own thread: a ``run`` or
+    #: ``do_*`` method of a subclass executes off the main thread
+    #: (REP023/REP024).
+    thread_runner_bases: frozenset[str] = frozenset(
+        {
+            "Thread",
+            "ThreadingMixIn",
+            "ThreadingHTTPServer",
+            "ThreadingTCPServer",
+            "BaseHTTPRequestHandler",
+            "SimpleHTTPRequestHandler",
+        }
+    )
+
+    #: Names that count as a lock guard when used as a context manager
+    #: (``with self.reader_lock:``) for REP023/REP024.
+    lock_name_pattern: str = r"lock|mutex|guard"
+
+    #: Call-graph search depth for REP010 taint traces.
+    taint_max_depth: int = 10
+
+    #: The message-kind dispatch surface (REP030).
+    wire: WireProtocol = WireProtocol()
 
     extra: dict[str, object] = field(default_factory=dict, compare=False)
 

@@ -1,0 +1,1054 @@
+"""Per-file fact extraction and the cross-module flow-analysis substrate.
+
+The original symbol pass (:mod:`repro.lint.symbols`) answered *structural*
+questions — which dataclasses exist, which serde functions touch which
+fields.  The flow rules (REP010, REP021, REP030, and the REP005 mutation
+check) need *behavioral* facts: who calls whom, which functions carry a
+nondeterminism source, which ``async def`` results are discarded, which
+string values a dispatcher compares a message ``kind`` against.
+
+Everything a project-scoped rule consumes is gathered here into one
+:class:`FileFacts` record per source file.  Two properties are deliberate:
+
+* **Facts are file-local.**  A file's facts depend only on its own source
+  and the lint config, never on other files.  That makes them safe to
+  serialize into the incremental cache (:mod:`repro.lint.incremental`) and
+  replay without re-parsing, while the cross-file reasoning re-runs fresh
+  on every lint over the merged fact tables.
+* **Facts are JSON round-trippable** (:meth:`FileFacts.to_dict` /
+  :meth:`FileFacts.from_dict`), for the same reason.
+
+The taint machinery at the bottom (:func:`taint_paths`) walks the
+call-graph edges derived from :class:`CallSite` candidates: a breadth-first
+search from each sink function to the nearest reachable source-carrying
+function, returning the full call chain so REP010 can render a trace a
+human can follow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.suppressions import SuppressionSet
+from repro.lint.symbols import (
+    DataclassField,
+    DataclassInfo,
+    RegistryDict,
+    SerdeFunction,
+    UnionAlias,
+    referenced_identifiers,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.config import LintConfig
+    from repro.lint.context import FileContext
+
+#: Taint source kinds and the per-line waiver code that sanitizes each.
+SOURCE_BASE_CODES = {
+    "wall-clock": "REP001",
+    "unseeded-rng": "REP002",
+    "unordered-set": "REP003",
+    "environ": "REP006",
+}
+
+_GENERIC_SERDE_NAMES = frozenset({"asdict", "astuple", "fields", "__dataclass_fields__"})
+_SERDE_SUFFIXES = ("_to_dict", "_from_dict")
+_MUTATION_EXEMPT_FUNCTIONS = frozenset({"__post_init__", "__init__", "__new__"})
+
+
+# -- fact records ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceFact:
+    """One nondeterminism source inside a function body.
+
+    ``kind`` is a key of :data:`SOURCE_BASE_CODES`; ``detail`` is the
+    human-readable culprit (``time.time``, ``random.choice``, ``a set
+    literal``, ...) used verbatim in REP010 traces.
+    """
+
+    kind: str
+    detail: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression and the project functions it may resolve to.
+
+    ``targets`` are candidate fully-qualified names (``module.func`` /
+    ``module.Class.method``); resolution against the real function table
+    happens at check time, so facts stay file-local.
+    """
+
+    line: int
+    targets: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class KindTest:
+    """A comparison against a message ``kind``.
+
+    Either a literal string ``value`` or candidate constant qualnames in
+    ``refs`` (``repro.net.message.KIND_BLOCK``), resolved against the
+    project string-constant table by REP030.
+    """
+
+    value: str | None
+    refs: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MutationFact:
+    """An attribute mutation of an annotated parameter or local.
+
+    REP005 matches ``type_names`` against the project's message-class set;
+    ``op`` distinguishes plain assignment from the ``object.__setattr__``
+    escape hatch.
+    """
+
+    function_name: str
+    op: str  # "assign" | "setattr"
+    target: str  # the parameter / variable name
+    attr: str  # mutated attribute ("" for setattr form)
+    type_names: tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class DiscardedCall:
+    """A statement-level call whose result is thrown away.
+
+    REP021 flags these when a candidate target is an ``async def``: the
+    coroutine object is built and dropped, so the body never runs.
+    """
+
+    line: int
+    col: int
+    display: str
+    targets: tuple[str, ...]
+
+
+@dataclass
+class FunctionFacts:
+    """Behavioral summary of one function definition."""
+
+    qualname: str  # module.Class.method / module.func
+    name: str
+    module: str
+    display_path: str
+    line: int
+    is_async: bool
+    calls: list[CallSite] = field(default_factory=list)
+    sources: list[SourceFact] = field(default_factory=list)
+    kind_tests: list[KindTest] = field(default_factory=list)
+
+
+@dataclass
+class FileFacts:
+    """Everything project-scoped rules need to know about one file."""
+
+    module: str
+    display_path: str
+    dataclasses: list[DataclassInfo] = field(default_factory=list)
+    unions: list[UnionAlias] = field(default_factory=list)
+    registries: list[RegistryDict] = field(default_factory=list)
+    serde_functions: list[SerdeFunction] = field(default_factory=list)
+    functions: list[FunctionFacts] = field(default_factory=list)
+    #: Module-level string constant qualname → (value, line).
+    str_constants: dict[str, tuple[str, int]] = field(default_factory=dict)
+    mutations: list[MutationFact] = field(default_factory=list)
+    discarded_calls: list[DiscardedCall] = field(default_factory=list)
+    suppressions: SuppressionSet = field(default_factory=SuppressionSet)
+    #: (line, code) waivers that sanitized a taint source at collection
+    #: time.  They anchor no diagnostic, so the engine must mark them
+    #: used explicitly or REP000 would flag load-bearing directives.
+    used_waivers: list[tuple[int, str]] = field(default_factory=list)
+
+    # -- collection -------------------------------------------------------------------
+
+    @classmethod
+    def collect(cls, ctx: "FileContext", config: "LintConfig") -> "FileFacts":
+        collector = _FactCollector(ctx, config)
+        return collector.run()
+
+    # -- serialization (for the incremental cache) ------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "display_path": self.display_path,
+            "dataclasses": [
+                {
+                    "module": d.module,
+                    "name": d.name,
+                    "line": d.line,
+                    "decorator_line": d.decorator_line,
+                    "display_path": d.display_path,
+                    "frozen": d.frozen,
+                    "bases": list(d.bases),
+                    "fields": [
+                        {
+                            "name": f.name,
+                            "line": f.line,
+                            "annotation_names": sorted(f.annotation_names),
+                        }
+                        for f in d.fields
+                    ],
+                }
+                for d in self.dataclasses
+            ],
+            "unions": [
+                {
+                    "module": u.module,
+                    "name": u.name,
+                    "line": u.line,
+                    "display_path": u.display_path,
+                    "members": list(u.members),
+                }
+                for u in self.unions
+            ],
+            "registries": [
+                {
+                    "module": r.module,
+                    "name": r.name,
+                    "line": r.line,
+                    "display_path": r.display_path,
+                    "value_names": list(r.value_names),
+                }
+                for r in self.registries
+            ],
+            "serde_functions": [
+                {
+                    "module": s.module,
+                    "name": s.name,
+                    "line": s.line,
+                    "display_path": s.display_path,
+                    "referenced_names": sorted(s.referenced_names),
+                    "string_literals": sorted(s.string_literals),
+                    "uses_generic": s.uses_generic,
+                }
+                for s in self.serde_functions
+            ],
+            "functions": [
+                {
+                    "qualname": f.qualname,
+                    "name": f.name,
+                    "module": f.module,
+                    "display_path": f.display_path,
+                    "line": f.line,
+                    "is_async": f.is_async,
+                    "calls": [
+                        {"line": c.line, "targets": list(c.targets)} for c in f.calls
+                    ],
+                    "sources": [
+                        {"kind": s.kind, "detail": s.detail, "line": s.line}
+                        for s in f.sources
+                    ],
+                    "kind_tests": [
+                        {"value": k.value, "refs": list(k.refs)} for k in f.kind_tests
+                    ],
+                }
+                for f in self.functions
+            ],
+            "str_constants": {
+                name: [value, line]
+                for name, (value, line) in sorted(self.str_constants.items())
+            },
+            "mutations": [
+                {
+                    "function_name": m.function_name,
+                    "op": m.op,
+                    "target": m.target,
+                    "attr": m.attr,
+                    "type_names": list(m.type_names),
+                    "line": m.line,
+                    "col": m.col,
+                }
+                for m in self.mutations
+            ],
+            "discarded_calls": [
+                {
+                    "line": d.line,
+                    "col": d.col,
+                    "display": d.display,
+                    "targets": list(d.targets),
+                }
+                for d in self.discarded_calls
+            ],
+            "suppressions": {
+                "entries": [
+                    {"line": s.line, "code": s.code}
+                    for s in self.suppressions.suppressions
+                ],
+                "malformed": [list(pair) for pair in self.suppressions.malformed],
+            },
+            "used_waivers": [list(pair) for pair in self.used_waivers],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "FileFacts":
+        suppressions = SuppressionSet()
+        for entry in record["suppressions"]["entries"]:
+            suppressions.add(entry["line"], entry["code"])
+        for line, code in record["suppressions"]["malformed"]:
+            suppressions.malformed.append((line, code))
+        return cls(
+            module=record["module"],
+            display_path=record["display_path"],
+            dataclasses=[
+                DataclassInfo(
+                    module=d["module"],
+                    name=d["name"],
+                    line=d["line"],
+                    decorator_line=d["decorator_line"],
+                    display_path=d["display_path"],
+                    frozen=d["frozen"],
+                    bases=tuple(d["bases"]),
+                    fields=[
+                        DataclassField(
+                            name=f["name"],
+                            line=f["line"],
+                            annotation_names=frozenset(f["annotation_names"]),
+                        )
+                        for f in d["fields"]
+                    ],
+                )
+                for d in record["dataclasses"]
+            ],
+            unions=[
+                UnionAlias(
+                    module=u["module"],
+                    name=u["name"],
+                    line=u["line"],
+                    display_path=u["display_path"],
+                    members=tuple(u["members"]),
+                )
+                for u in record["unions"]
+            ],
+            registries=[
+                RegistryDict(
+                    module=r["module"],
+                    name=r["name"],
+                    line=r["line"],
+                    display_path=r["display_path"],
+                    value_names=tuple(r["value_names"]),
+                )
+                for r in record["registries"]
+            ],
+            serde_functions=[
+                SerdeFunction(
+                    module=s["module"],
+                    name=s["name"],
+                    line=s["line"],
+                    display_path=s["display_path"],
+                    referenced_names=frozenset(s["referenced_names"]),
+                    string_literals=frozenset(s["string_literals"]),
+                    uses_generic=s["uses_generic"],
+                )
+                for s in record["serde_functions"]
+            ],
+            functions=[
+                FunctionFacts(
+                    qualname=f["qualname"],
+                    name=f["name"],
+                    module=f["module"],
+                    display_path=f["display_path"],
+                    line=f["line"],
+                    is_async=f["is_async"],
+                    calls=[
+                        CallSite(line=c["line"], targets=tuple(c["targets"]))
+                        for c in f["calls"]
+                    ],
+                    sources=[
+                        SourceFact(kind=s["kind"], detail=s["detail"], line=s["line"])
+                        for s in f["sources"]
+                    ],
+                    kind_tests=[
+                        KindTest(value=k["value"], refs=tuple(k["refs"]))
+                        for k in f["kind_tests"]
+                    ],
+                )
+                for f in record["functions"]
+            ],
+            str_constants={
+                name: (value, line)
+                for name, (value, line) in record["str_constants"].items()
+            },
+            mutations=[
+                MutationFact(
+                    function_name=m["function_name"],
+                    op=m["op"],
+                    target=m["target"],
+                    attr=m["attr"],
+                    type_names=tuple(m["type_names"]),
+                    line=m["line"],
+                    col=m["col"],
+                )
+                for m in record["mutations"]
+            ],
+            discarded_calls=[
+                DiscardedCall(
+                    line=d["line"],
+                    col=d["col"],
+                    display=d["display"],
+                    targets=tuple(d["targets"]),
+                )
+                for d in record["discarded_calls"]
+            ],
+            suppressions=suppressions,
+            used_waivers=[(line, code) for line, code in record["used_waivers"]],
+        )
+
+
+# -- per-file collection ---------------------------------------------------------------
+
+
+def _annotation_names(node: ast.AST) -> frozenset[str]:
+    names, strings = referenced_identifiers(node)
+    for text in strings:
+        for token in text.replace("[", " ").replace("]", " ").replace(",", " ").split():
+            cleaned = token.strip("'\"| ")
+            if cleaned.isidentifier():
+                names.add(cleaned)
+    return frozenset(names)
+
+
+def _is_dataclass_decorator(node: ast.expr) -> tuple[bool, bool]:
+    """(is_dataclass, frozen) for one decorator expression."""
+    target = node.func if isinstance(node, ast.Call) else node
+    dotted: str | None = None
+    if isinstance(target, ast.Name):
+        dotted = target.id
+    elif isinstance(target, ast.Attribute):
+        dotted = target.attr
+    if dotted != "dataclass":
+        return False, False
+    frozen = False
+    if isinstance(node, ast.Call):
+        for keyword in node.keywords:
+            if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
+                frozen = bool(keyword.value.value)
+    return True, frozen
+
+
+def _union_members(value: ast.expr) -> tuple[str, ...] | None:
+    """Member names of ``Union[A, B]`` / ``A | B`` when all are plain names."""
+    if isinstance(value, ast.Subscript):
+        target = value.value
+        base = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if base != "Union":
+            return None
+        inner = value.slice
+        elements = list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+        names = [e.id for e in elements if isinstance(e, ast.Name)]
+        return tuple(names) if len(names) == len(elements) and names else None
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr):
+        left = _union_members(value.left) or (
+            (value.left.id,) if isinstance(value.left, ast.Name) else None
+        )
+        right = _union_members(value.right) or (
+            (value.right.id,) if isinstance(value.right, ast.Name) else None
+        )
+        if left and right:
+            return left + right
+    return None
+
+
+def _registry_values(value: ast.expr) -> tuple[str, ...] | None:
+    """Class names used as dict-literal values, when every value is a name."""
+    if not isinstance(value, ast.Dict) or not value.values:
+        return None
+    names = [v.id for v in value.values if isinstance(v, ast.Name)]
+    return tuple(names) if len(names) == len(value.values) else None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.kind`` → ``kind``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _FactCollector:
+    """Single AST walk producing one :class:`FileFacts` record."""
+
+    def __init__(self, ctx: "FileContext", config: "LintConfig") -> None:
+        self.ctx = ctx
+        self.config = config
+        self.facts = FileFacts(
+            module=ctx.module,
+            display_path=ctx.display_path,
+            suppressions=ctx.suppressions,
+        )
+
+    def run(self) -> FileFacts:
+        for node in self.ctx.tree.body:
+            self._visit_toplevel(node, class_name=None)
+        return self.facts
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _visit_toplevel(self, node: ast.stmt, class_name: str | None) -> None:
+        if isinstance(node, ast.ClassDef):
+            self._collect_class(node)
+            for child in node.body:
+                self._visit_toplevel(child, class_name=node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._collect_function(node, class_name)
+        elif class_name is None:
+            self._collect_module_statement(node)
+
+    def _collect_module_statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                self._collect_alias(target.id, node.value, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                self._collect_alias(node.target.id, node.value, node.lineno)
+        else:
+            # Module-level expression statements (rare) can still discard a
+            # coroutine; treat them like function bodies for REP021/REP022.
+            for fn_stmt in ast.walk(node):
+                if isinstance(fn_stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return
+            self._collect_discarded(node)
+
+    def _collect_alias(self, name: str, value: ast.expr, line: int) -> None:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            self.facts.str_constants[f"{self.ctx.module}.{name}"] = (value.value, line)
+            return
+        members = _union_members(value)
+        if members is not None:
+            self.facts.unions.append(
+                UnionAlias(
+                    module=self.ctx.module,
+                    name=name,
+                    line=line,
+                    display_path=self.ctx.display_path,
+                    members=members,
+                )
+            )
+            return
+        values = _registry_values(value)
+        if values is not None:
+            self.facts.registries.append(
+                RegistryDict(
+                    module=self.ctx.module,
+                    name=name,
+                    line=line,
+                    display_path=self.ctx.display_path,
+                    value_names=values,
+                )
+            )
+
+    # -- classes ----------------------------------------------------------------------
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        is_dataclass = False
+        frozen = False
+        decorator_line = node.lineno
+        for decorator in node.decorator_list:
+            found, frozen_flag = _is_dataclass_decorator(decorator)
+            if found:
+                is_dataclass = True
+                frozen = frozen or frozen_flag
+                decorator_line = decorator.lineno
+        if not is_dataclass:
+            return
+        bases = tuple(
+            base.id if isinstance(base, ast.Name) else base.attr
+            for base in node.bases
+            if isinstance(base, (ast.Name, ast.Attribute))
+        )
+        info = DataclassInfo(
+            module=self.ctx.module,
+            name=node.name,
+            line=node.lineno,
+            decorator_line=decorator_line,
+            display_path=self.ctx.display_path,
+            frozen=frozen,
+            bases=bases,
+        )
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                info.fields.append(
+                    DataclassField(
+                        name=statement.target.id,
+                        line=statement.lineno,
+                        annotation_names=_annotation_names(statement.annotation),
+                    )
+                )
+        self.facts.dataclasses.append(info)
+
+    # -- functions --------------------------------------------------------------------
+
+    def _collect_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, class_name: str | None
+    ) -> None:
+        if node.name.endswith(_SERDE_SUFFIXES):
+            names, strings = referenced_identifiers(node)
+            self.facts.serde_functions.append(
+                SerdeFunction(
+                    module=self.ctx.module,
+                    name=node.name,
+                    line=node.lineno,
+                    display_path=self.ctx.display_path,
+                    referenced_names=frozenset(names),
+                    string_literals=frozenset(strings),
+                    uses_generic=bool(names & _GENERIC_SERDE_NAMES),
+                )
+            )
+        qualname = (
+            f"{self.ctx.module}.{class_name}.{node.name}"
+            if class_name
+            else f"{self.ctx.module}.{node.name}"
+        )
+        facts = FunctionFacts(
+            qualname=qualname,
+            name=node.name,
+            module=self.ctx.module,
+            display_path=self.ctx.display_path,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        annotated = self._annotated_names(node)
+        own_body = self._own_statements(node)
+        for stmt in own_body:
+            self._collect_discarded(stmt)
+        for child in self._walk_function(node):
+            if isinstance(child, ast.Call):
+                self._collect_call(facts, child, class_name)
+                if node.name not in _MUTATION_EXEMPT_FUNCTIONS:
+                    self._collect_setattr_mutation(node, child, annotated)
+            elif isinstance(child, ast.Compare):
+                self._collect_kind_test(facts, child)
+            elif (
+                isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete))
+                and node.name not in _MUTATION_EXEMPT_FUNCTIONS
+            ):
+                self._collect_assign_mutation(node, child, annotated)
+        self._collect_sources(facts, node)
+        self.facts.functions.append(facts)
+        # Nested functions become their own entries (qualified under the
+        # class only — nesting depth beyond that is collapsed, which is
+        # enough for call-graph purposes in this codebase).
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_nested_function(child, qualname)
+
+    def _collect_nested_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, parent_qualname: str
+    ) -> None:
+        facts = FunctionFacts(
+            qualname=f"{parent_qualname}.{node.name}",
+            name=node.name,
+            module=self.ctx.module,
+            display_path=self.ctx.display_path,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        for child in self._walk_function(node):
+            if isinstance(child, ast.Call):
+                self._collect_call(facts, child, class_name=None)
+        self._collect_sources(facts, node)
+        self.facts.functions.append(facts)
+
+    @staticmethod
+    def _own_statements(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[ast.stmt]:
+        """Every statement in the function, excluding nested function bodies."""
+        out: list[ast.stmt] = []
+        stack: list[ast.stmt] = list(node.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            out.append(stmt)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+        return out
+
+    @classmethod
+    def _walk_function(
+        cls, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[ast.AST]:
+        """Walk the function's own body, not nested def/class bodies."""
+        out: list[ast.AST] = []
+        stack: list[ast.AST] = [
+            child for stmt in node.body for child in [stmt]
+        ]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            out.append(current)
+            stack.extend(ast.iter_child_nodes(current))
+        return out
+
+    # -- calls ------------------------------------------------------------------------
+
+    def _collect_call(
+        self, facts: FunctionFacts, node: ast.Call, class_name: str | None
+    ) -> None:
+        targets = self._call_targets(node.func, class_name)
+        if targets:
+            facts.calls.append(CallSite(line=node.lineno, targets=tuple(targets)))
+
+    def _call_targets(self, func: ast.expr, class_name: str | None) -> list[str]:
+        module = self.ctx.module
+        if isinstance(func, ast.Name):
+            resolved = self.ctx.resolve(func)
+            if resolved is not None:
+                return [resolved]
+            # A bare name either refers to a module-level function or a
+            # builtin; candidate resolution happens against the project
+            # function table, so a builtin simply never matches.
+            return [f"{module}.{func.id}"]
+        if isinstance(func, ast.Attribute):
+            resolved = self.ctx.resolve(func)
+            if resolved is not None:
+                return [resolved]
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in {"self", "cls"}:
+                if class_name is not None:
+                    return [f"{module}.{class_name}.{func.attr}"]
+        return []
+
+    # -- sources (REP010) -------------------------------------------------------------
+
+    def _sanitized(self, line: int, kind: str) -> bool:
+        """A source is waived when its line carries the base-rule or REP010 waiver."""
+        for code in (SOURCE_BASE_CODES[kind], "REP010"):
+            if self.ctx.suppressions.has(line, code):
+                if (line, code) not in self.facts.used_waivers:
+                    self.facts.used_waivers.append((line, code))
+                return True
+        return False
+
+    def _collect_sources(
+        self, facts: FunctionFacts, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        config = self.config
+        module = self.ctx.module
+        # Wall-clock reads are a taint source everywhere EXCEPT the
+        # packages that run on the host clock by design — crucially
+        # *including* non-sim helper modules, which is exactly the blind
+        # spot of the direct REP001 check.
+        wall_clock_ok = config.is_wall_clock_exempt(module)
+        environ_ok = module in config.environ_allowed_modules
+        for child in self._walk_function(node):
+            if isinstance(child, ast.Call):
+                resolved = self.ctx.resolve(child.func)
+                if resolved is None:
+                    continue
+                if resolved in config.wall_clock_calls and not wall_clock_ok:
+                    if not self._sanitized(child.lineno, "wall-clock"):
+                        facts.sources.append(
+                            SourceFact("wall-clock", resolved, child.lineno)
+                        )
+                elif resolved.startswith("random."):
+                    attr = resolved.split(".", 2)[1]
+                    if attr not in config.stdlib_random_allowed and not self._sanitized(
+                        child.lineno, "unseeded-rng"
+                    ):
+                        facts.sources.append(
+                            SourceFact("unseeded-rng", resolved, child.lineno)
+                        )
+                elif resolved.startswith("numpy.random."):
+                    attr = resolved.split(".", 3)[2]
+                    if attr not in config.numpy_random_allowed and not self._sanitized(
+                        child.lineno, "unseeded-rng"
+                    ):
+                        facts.sources.append(
+                            SourceFact("unseeded-rng", resolved, child.lineno)
+                        )
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                self._collect_unordered_source(facts, child.iter)
+            elif isinstance(
+                child, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in child.generators:
+                    self._collect_unordered_source(facts, gen.iter)
+            elif isinstance(child, (ast.Attribute, ast.Name)) and not environ_ok:
+                resolved = self.ctx.resolve(child)
+                if resolved is None:
+                    continue
+                is_environ = (
+                    resolved in {"os.environ", "os.environb", "os.getenv"}
+                    or resolved.startswith("os.environ.")
+                    or resolved.startswith("os.environb.")
+                )
+                if is_environ and not self._sanitized(child.lineno, "environ"):
+                    facts.sources.append(SourceFact("environ", resolved, child.lineno))
+
+    def _collect_unordered_source(self, facts: FunctionFacts, node: ast.expr) -> None:
+        """Iteration whose order varies between processes: set iteration only.
+
+        Dict views are insertion-ordered (REP003 polices them inside sink
+        functions where rebuild order matters); for *transitive* taint only
+        genuinely unordered set iteration is a source, keeping REP010's
+        signal high.
+        """
+        reason: str | None = None
+        if isinstance(node, ast.Set):
+            reason = "a set literal"
+        elif isinstance(node, ast.SetComp):
+            reason = "a set comprehension"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                reason = f"a {func.id}() result"
+        if reason is not None and not self._sanitized(node.lineno, "unordered-set"):
+            facts.sources.append(SourceFact("unordered-set", reason, node.lineno))
+
+    # -- kind tests (REP030) ----------------------------------------------------------
+
+    def _collect_kind_test(self, facts: FunctionFacts, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        if not any(_terminal_name(op) == "kind" for op in operands):
+            return
+        for operand in operands:
+            if _terminal_name(operand) == "kind" and not isinstance(
+                operand, ast.Constant
+            ):
+                continue
+            for element in self._comparison_elements(operand):
+                test = self._kind_candidates(element)
+                if test is not None:
+                    facts.kind_tests.append(test)
+
+    @staticmethod
+    def _comparison_elements(node: ast.expr) -> list[ast.expr]:
+        """Flatten ``in {A, B}`` / ``in (A, B)`` membership containers."""
+        if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+            return list(node.elts)
+        return [node]
+
+    def _kind_candidates(self, node: ast.expr) -> KindTest | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return KindTest(value=node.value, refs=())
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            refs: list[str] = []
+            resolved = self.ctx.resolve(node)
+            if resolved is not None:
+                refs.append(resolved)
+            if isinstance(node, ast.Name):
+                refs.append(f"{self.ctx.module}.{node.id}")
+            if refs:
+                return KindTest(value=None, refs=tuple(refs))
+        return None
+
+    # -- mutations (REP005) -----------------------------------------------------------
+
+    def _annotated_names(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, frozenset[str]]:
+        """Parameter / local name → identifiers referenced in its annotation."""
+        annotated: dict[str, frozenset[str]] = {}
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                annotated[arg.arg] = self._flat_annotation(arg.annotation)
+        for child in self._walk_function(node):
+            if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+                annotated[child.target.id] = self._flat_annotation(child.annotation)
+        return annotated
+
+    @staticmethod
+    def _flat_annotation(annotation: ast.expr) -> frozenset[str]:
+        names: set[str] = set()
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+        return frozenset(names)
+
+    def _collect_assign_mutation(
+        self,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Assign | ast.AugAssign | ast.AnnAssign | ast.Delete,
+        annotated: dict[str, frozenset[str]],
+    ) -> None:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in annotated
+            ):
+                self.facts.mutations.append(
+                    MutationFact(
+                        function_name=function.name,
+                        op="assign",
+                        target=target.value.id,
+                        attr=target.attr,
+                        type_names=tuple(sorted(annotated[target.value.id])),
+                        line=target.lineno,
+                        col=target.col_offset,
+                    )
+                )
+
+    def _collect_setattr_mutation(
+        self,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+        annotated: dict[str, frozenset[str]],
+    ) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in annotated
+        ):
+            self.facts.mutations.append(
+                MutationFact(
+                    function_name=function.name,
+                    op="setattr",
+                    target=node.args[0].id,
+                    attr="",
+                    type_names=tuple(sorted(annotated[node.args[0].id])),
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+
+    # -- discarded results (REP021 / REP022) ------------------------------------------
+
+    def _collect_discarded(self, stmt: ast.stmt) -> None:
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return
+        call = stmt.value
+        targets = self._call_targets(call.func, class_name=None)
+        display = self._call_display(call.func)
+        self.facts.discarded_calls.append(
+            DiscardedCall(
+                line=call.lineno,
+                col=call.col_offset,
+                display=display,
+                targets=tuple(targets),
+            )
+        )
+
+    def _call_display(self, func: ast.expr) -> str:
+        parts: list[str] = []
+        current = func
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+        return ".".join(reversed(parts)) if parts else "<call>"
+
+
+# -- taint search (REP010) -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaintPath:
+    """One sink→source call chain.
+
+    ``chain`` is the sequence of function facts from the sink (first) to
+    the source-carrying function (last); ``call_lines`` holds the line of
+    each call edge (``call_lines[i]`` is where ``chain[i]`` calls
+    ``chain[i+1]``); ``source`` is the leaked hazard.
+    """
+
+    chain: tuple[FunctionFacts, ...]
+    call_lines: tuple[int, ...]
+    source: SourceFact
+
+    def render(self) -> str:
+        """``sink() -> helper() -> leaf()`` trace text."""
+        return " -> ".join(f"{fn.name}()" for fn in self.chain)
+
+
+def build_call_edges(
+    functions: dict[str, FunctionFacts],
+) -> dict[str, list[tuple[str, int]]]:
+    """Resolve call-site candidates into concrete project-function edges."""
+    edges: dict[str, list[tuple[str, int]]] = {}
+    for qualname, facts in functions.items():
+        out: list[tuple[str, int]] = []
+        for call in facts.calls:
+            for target in call.targets:
+                if target in functions and target != qualname:
+                    out.append((target, call.line))
+                    break
+        edges[qualname] = out
+    return edges
+
+
+def taint_paths(
+    sink: FunctionFacts,
+    functions: dict[str, FunctionFacts],
+    edges: dict[str, list[tuple[str, int]]],
+    *,
+    max_depth: int = 10,
+) -> list[TaintPath]:
+    """Shortest call chain from ``sink`` to every reachable tainted function.
+
+    The sink's *own* sources are excluded — direct hazards are REP001/002/
+    003/006 territory; REP010 exists for the leaks one call away or more.
+    One path is returned per (tainted function, source kind): the shortest,
+    found breadth-first, so diagnostics stay stable and readable.
+    """
+    paths: list[TaintPath] = []
+    reported: set[tuple[str, str]] = set()
+    queue: deque[tuple[str, tuple[str, ...], tuple[int, ...]]] = deque(
+        [(sink.qualname, (sink.qualname,), ())]
+    )
+    visited: set[str] = {sink.qualname}
+    while queue:
+        current, chain, lines = queue.popleft()
+        if len(chain) > max_depth:
+            continue
+        for callee, line in edges.get(current, ()):
+            if callee in visited:
+                continue
+            visited.add(callee)
+            callee_facts = functions[callee]
+            next_chain = (*chain, callee)
+            next_lines = (*lines, line)
+            for source in callee_facts.sources:
+                key = (callee, source.kind)
+                if key in reported:
+                    continue
+                reported.add(key)
+                paths.append(
+                    TaintPath(
+                        chain=tuple(functions[q] for q in next_chain),
+                        call_lines=next_lines,
+                        source=source,
+                    )
+                )
+            queue.append((callee, next_chain, next_lines))
+    return paths
+
+
+#: Pattern reused by rules to decide whether a with-statement guards a lock.
+LOCK_NAME_RE = re.compile(r"lock", re.IGNORECASE)

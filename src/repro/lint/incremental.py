@@ -1,0 +1,157 @@
+"""Incremental lint cache: skip re-analysis of unchanged files.
+
+Per file, the cache stores the serialized :class:`FileFacts` record and
+the raw (pre-suppression) diagnostics its *file-scoped* rules produced.
+On a hit the engine skips parsing and every ``check_file`` pass; the
+cross-module rules still run fresh every time over the merged fact
+tables, so project-level conclusions (taint paths, dispatch coverage)
+always reflect the whole current tree.  That split is the soundness
+contract: anything cached per file must depend on that file alone.
+
+Validity is two-layered:
+
+* a **global key** — digest of the lint config, the set of file-scoped
+  rule codes in play, and the cache format version — guards against
+  config or rule-set drift; a mismatch discards the whole cache;
+* a **per-file check** — mtime+size fast path, content sha256 fallback —
+  so a ``touch`` costs one hash, not one re-parse, and a content change
+  always misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.config import LintConfig
+    from repro.lint.diagnostics import Diagnostic
+
+#: Bump when the FileFacts schema or cached-diagnostic shape changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cache_key(config: "LintConfig", file_rule_codes: frozenset[str]) -> str:
+    """Global validity key: config + file-rule selection + format version."""
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "config": _jsonable(dataclasses.asdict(config)),
+        "file_rules": sorted(file_rule_codes),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """mtime/sha-keyed store of per-file facts and file-rule diagnostics."""
+
+    def __init__(self, path: Path, key: str) -> None:
+        self.path = path
+        self.key = key
+        self._files: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: str | Path, key: str) -> "LintCache":
+        cache = cls(Path(path), key)
+        try:
+            raw = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if raw.get("key") != key:
+            return cache  # config/rule drift: discard wholesale
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        return cache
+
+    def lookup(self, path: Path, display: str) -> dict[str, Any] | None:
+        """The stored entry if ``path`` is unchanged, else ``None``.
+
+        A hit via the sha fallback refreshes the stored mtime/size so the
+        next run takes the fast path again.
+        """
+        entry = self._files.get(display)
+        if entry is None:
+            return None
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        if entry.get("mtime") == stat.st_mtime and entry.get("size") == stat.st_size:
+            return entry
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if entry.get("sha") != _sha256(data):
+            return None
+        entry["mtime"] = stat.st_mtime
+        entry["size"] = stat.st_size
+        self._dirty = True
+        return entry
+
+    def store(
+        self,
+        path: Path,
+        display: str,
+        source: str,
+        facts: dict[str, Any],
+        diagnostics: list["Diagnostic"],
+    ) -> None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return
+        self._files[display] = {
+            "mtime": stat.st_mtime,
+            "size": stat.st_size,
+            "sha": _sha256(source.encode("utf-8")),
+            "facts": facts,
+            "diagnostics": [
+                [d.line, d.col, d.code, d.message] for d in diagnostics
+            ],
+        }
+        self._dirty = True
+
+    def prune(self, known_displays: set[str]) -> None:
+        """Drop entries for files no longer part of the linted set."""
+        stale = [d for d in self._files if d not in known_displays]
+        for display in stale:
+            del self._files[display]
+            self._dirty = True
+
+    def write(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"key": self.key, "files": self._files}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cache that cannot be written is just a slow cache

@@ -1,0 +1,172 @@
+"""Protocol-dispatch completeness (REP030).
+
+REP004 keeps tagged unions and their registries in lock-step; this rule
+extends the same idea to the wire protocol.  Adding a ``KIND_*`` message
+kind is a three-site change — encoder branch, decoder branch, node-side
+handler — and forgetting any one of them fails only at runtime, on the
+first live frame of that kind: the encoder raises ``CodecError`` mid-
+gossip, or worse, the node silently drops a message category and the
+cluster wedges below quorum.
+
+The check is entirely fact-driven: kind constants come from the project
+string-constant table, codec branches from the ``kind ==`` comparisons
+recorded for the wire module's encode/decode functions, and handler
+coverage from the same comparisons across the configured handler
+modules (literal strings and resolved constant references both count,
+as does a ``!=`` guard — rejecting a kind is handling it).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.dataflow import FunctionFacts
+    from repro.lint.symbols import ProjectSymbols
+
+
+@register
+class DispatchCompletenessRule(Rule):
+    """REP030 — every wire message kind needs a codec round-trip and a handler.
+
+    For each ``KIND_*`` string constant declared in the configured kind
+    modules: (a) the wire module's encode path must branch on it, (b) the
+    decode path must branch on it, and (c) some handler module must
+    compare a message ``kind`` against it.  Encoder/decoder asymmetry is
+    reported even for kinds without a declared constant.
+    """
+
+    code = "REP030"
+    name = "dispatch-completeness"
+    summary = "wire kinds need encoder, decoder, and node-side handler"
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        wire = self.config.wire
+        if wire.wire_module not in project.modules:
+            return
+        wire_functions = [
+            f for f in project.functions.values() if f.module == wire.wire_module
+        ]
+        encode_re = re.compile(wire.encode_name_pattern)
+        decode_re = re.compile(wire.decode_name_pattern)
+        encode_kinds = self._kind_values(
+            project, (f for f in wire_functions if encode_re.search(f.name))
+        )
+        decode_kinds = self._kind_values(
+            project, (f for f in wire_functions if decode_re.search(f.name))
+        )
+        handler_modules = [
+            m for m in wire.handler_modules if m in project.modules
+        ]
+        handler_kinds = self._kind_values(
+            project,
+            (
+                f
+                for f in project.functions.values()
+                if f.module in handler_modules
+            ),
+        )
+        wire_record = project.files[wire.wire_module]
+
+        for qualname, value, line, display_path in self._declared_kinds(project):
+            constant = qualname.rsplit(".", 1)[1]
+            if value not in encode_kinds:
+                yield Diagnostic(
+                    path=wire_record.display_path,
+                    line=1,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"wire kind {value!r} ({constant}) has no encoder "
+                        f"branch in {wire.wire_module}; sending it raises "
+                        "CodecError at runtime"
+                    ),
+                )
+            if value not in decode_kinds:
+                yield Diagnostic(
+                    path=wire_record.display_path,
+                    line=1,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"wire kind {value!r} ({constant}) has no decoder "
+                        f"branch in {wire.wire_module}; receiving it raises "
+                        "CodecError at runtime"
+                    ),
+                )
+            if handler_modules and value not in handler_kinds:
+                yield Diagnostic(
+                    path=display_path,
+                    line=line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"wire kind {value!r} ({constant}) has no node-side "
+                        "handler: no function in "
+                        f"{', '.join(handler_modules)} dispatches on it, so "
+                        "received messages of this kind are silently dropped"
+                    ),
+                )
+
+        for value in sorted(encode_kinds - decode_kinds):
+            yield Diagnostic(
+                path=wire_record.display_path,
+                line=1,
+                col=0,
+                code=self.code,
+                message=(
+                    f"wire kind {value!r} is encoded but never decoded; the "
+                    "codec does not round-trip"
+                ),
+            )
+        for value in sorted(decode_kinds - encode_kinds):
+            yield Diagnostic(
+                path=wire_record.display_path,
+                line=1,
+                col=0,
+                code=self.code,
+                message=(
+                    f"wire kind {value!r} is decoded but never encoded; the "
+                    "codec does not round-trip"
+                ),
+            )
+
+    def _declared_kinds(
+        self, project: "ProjectSymbols"
+    ) -> list[tuple[str, str, int, str]]:
+        """(qualname, value, line, display_path) per declared kind constant."""
+        wire = self.config.wire
+        declared: list[tuple[str, str, int, str]] = []
+        for qualname, (value, line) in sorted(project.str_constants.items()):
+            module, _, constant = qualname.rpartition(".")
+            if module not in wire.kind_modules:
+                continue
+            if not constant.startswith(wire.constant_prefix):
+                continue
+            record = project.files.get(module)
+            display = record.display_path if record is not None else module
+            declared.append((qualname, value, line, display))
+        return declared
+
+    @staticmethod
+    def _kind_values(
+        project: "ProjectSymbols", functions: Iterable["FunctionFacts"]
+    ) -> set[str]:
+        """Resolve every kind comparison to its concrete string value."""
+        values: set[str] = set()
+        for facts in functions:
+            for test in facts.kind_tests:
+                if test.value is not None:
+                    values.add(test.value)
+                    continue
+                for ref in test.refs:
+                    resolved = project.resolve_constant(ref)
+                    if resolved is not None:
+                        values.add(resolved)
+                        break
+        return values

@@ -374,8 +374,6 @@ class FrozenMessageRule(Rule):
     name = "frozen-message"
     summary = "message dataclasses are frozen and never mutated after receipt"
 
-    _MUTATION_EXEMPT_FUNCTIONS = frozenset({"__post_init__", "__init__", "__new__"})
-
     def _message_classes(self, project: "ProjectSymbols") -> set[str]:
         pattern = re.compile(self.config.message_name_pattern)
         names: set[str] = set()
@@ -405,98 +403,42 @@ class FrozenMessageRule(Rule):
                         "history for every node holding a reference"
                     ),
                 )
+        yield from self._check_mutations(project)
 
-    def check_file(
-        self, ctx: "FileContext", project: "ProjectSymbols"
-    ) -> Iterator[Diagnostic]:
-        if not self.config.is_sim_module(ctx.module):
-            return
+    def _check_mutations(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        # Mutation sites are per-file facts (target name + its annotation's
+        # identifiers); which of those annotations denote *messages* is a
+        # cross-file question, so the match happens here — never in
+        # check_file, whose output the incremental cache replays verbatim.
         message_classes = self._message_classes(project)
         if not message_classes:
             return
-        for function in _functions(ctx.tree):
-            if function.name in self._MUTATION_EXEMPT_FUNCTIONS:
+        for record in project.files.values():
+            if not self.config.is_sim_module(record.module):
                 continue
-            typed = self._message_params(function, message_classes)
-            if not typed:
-                continue
-            yield from self._check_mutations(ctx, function, typed)
-
-    @staticmethod
-    def _annotation_name(annotation: ast.expr | None) -> set[str]:
-        if annotation is None:
-            return set()
-        names: set[str] = set()
-        for node in ast.walk(annotation):
-            if isinstance(node, ast.Name):
-                names.add(node.id)
-            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-                names.add(node.value)
-        return names
-
-    def _message_params(
-        self,
-        function: ast.FunctionDef | ast.AsyncFunctionDef,
-        message_classes: set[str],
-    ) -> set[str]:
-        typed: set[str] = set()
-        args = function.args
-        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
-            if self._annotation_name(arg.annotation) & message_classes:
-                typed.add(arg.arg)
-        for node in ast.walk(function):
-            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-                if self._annotation_name(node.annotation) & message_classes:
-                    typed.add(node.target.id)
-        return typed
-
-    def _check_mutations(
-        self,
-        ctx: "FileContext",
-        function: ast.FunctionDef | ast.AsyncFunctionDef,
-        typed: set[str],
-    ) -> Iterator[Diagnostic]:
-        for node in ast.walk(function):
-            targets: list[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                targets = list(node.targets)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                targets = [node.target]
-            elif isinstance(node, ast.Delete):
-                targets = list(node.targets)
-            elif isinstance(node, ast.Call):
-                func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == "__setattr__"
-                    and node.args
-                    and isinstance(node.args[0], ast.Name)
-                    and node.args[0].id in typed
-                ):
-                    yield self.diagnostic(
-                        ctx,
-                        node.lineno,
-                        node.col_offset,
+            for mutation in record.mutations:
+                if not set(mutation.type_names) & message_classes:
+                    continue
+                if mutation.op == "setattr":
+                    message = (
                         f"object.__setattr__ on message parameter "
-                        f"{node.args[0].id!r} in {function.name}(); messages "
-                        "are immutable after receipt",
+                        f"{mutation.target!r} in {mutation.function_name}(); "
+                        "messages are immutable after receipt"
                     )
-                continue
-            for target in targets:
-                if (
-                    isinstance(target, ast.Attribute)
-                    and isinstance(target.value, ast.Name)
-                    and target.value.id in typed
-                ):
-                    yield self.diagnostic(
-                        ctx,
-                        target.lineno,
-                        target.col_offset,
+                else:
+                    message = (
                         f"mutation of received message field "
-                        f"{target.value.id}.{target.attr} in "
-                        f"{function.name}(); copy via dataclasses.replace() "
-                        "instead",
+                        f"{mutation.target}.{mutation.attr} in "
+                        f"{mutation.function_name}(); copy via "
+                        "dataclasses.replace() instead"
                     )
+                yield Diagnostic(
+                    path=record.display_path,
+                    line=mutation.line,
+                    col=mutation.col,
+                    code=self.code,
+                    message=message,
+                )
 
 
 @register
@@ -565,4 +507,65 @@ class ProcessBoundaryRule(Rule):
                     "os.environ read outside the config gateway; route it "
                     "through repro.node.config so ambient state never "
                     "reaches cached physics",
+                )
+
+
+@register
+class DeterminismTaintRule(Rule):
+    """REP010 — nondeterminism must not reach serde/hash/emit paths, even
+    transitively.
+
+    REP001/REP002/REP003/REP006 flag a hazard at the line where it sits —
+    but only inside the packages they police.  A helper in a utility
+    module that reads ``time.time()`` passes every per-file rule, yet the
+    moment a consensus serializer calls it the cache keys diverge between
+    replays.  This rule walks the project call graph from every *sink*
+    (a simulation-path function whose name matches the serde/hash/emit
+    context pattern) and reports the shortest path to any function
+    carrying a *source*: a wall-clock read, an unseeded RNG draw, an
+    ``os.environ`` access, or unordered set iteration.  The diagnostic
+    renders the full call chain so the leak is auditable at a glance.
+
+    Sinks' own direct hazards are excluded (base-rule territory); a
+    source waived inline with the base rule's code — or with REP010 — is
+    sanitized and does not propagate.
+    """
+
+    code = "REP010"
+    name = "determinism-taint"
+    summary = "no transitive nondeterminism reaching serde/hash/emit paths"
+
+    def check_project(self, project: "ProjectSymbols") -> Iterator[Diagnostic]:
+        from repro.lint.dataflow import build_call_edges, taint_paths
+
+        pattern = re.compile(self.config.context_pattern, re.IGNORECASE)
+        edges = build_call_edges(project.functions)
+        for sink in project.functions.values():
+            if not self.config.is_sim_module(sink.module):
+                continue
+            if not pattern.search(sink.name):
+                continue
+            for path in taint_paths(
+                sink,
+                project.functions,
+                edges,
+                max_depth=self.config.taint_max_depth,
+            ):
+                source = path.source
+                if source.kind == "wall-clock" and self.config.is_wall_clock_exempt(
+                    sink.module
+                ):
+                    continue
+                leaf = path.chain[-1]
+                yield Diagnostic(
+                    path=sink.display_path,
+                    line=path.call_lines[0],
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"{source.kind} source reaches serde/emit path "
+                        f"{sink.name}() via {path.render()}: "
+                        f"{source.detail} at "
+                        f"{leaf.display_path}:{source.line}"
+                    ),
                 )

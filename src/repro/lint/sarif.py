@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 output (``--format sarif``) for GitHub code scanning.
+
+One run, one tool (``repro-lint``), one result per diagnostic.  The rule
+catalogue is embedded in ``tool.driver.rules`` so code-scanning UIs can
+show the summary for each code; the two meta codes (REP000, REP900) are
+included because they appear as results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.lint.diagnostics import PARSE_ERROR, UNUSED_SUPPRESSION
+from repro.lint.registry import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only
+    from repro.lint.engine import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_META_RULES = {
+    UNUSED_SUPPRESSION: (
+        "unused-suppression",
+        "suppression directives must silence a real finding",
+    ),
+    PARSE_ERROR: ("parse-error", "file could not be parsed"),
+}
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = []
+    for code, cls in RULES.items():
+        rules.append(
+            {
+                "id": code,
+                "name": cls.name,
+                "shortDescription": {"text": cls.summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    for code, (name, summary) in _META_RULES.items():
+        rules.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return sorted(rules, key=lambda r: str(r["id"]))
+
+
+def to_sarif(result: "LintResult") -> dict[str, Any]:
+    """Build the SARIF log object for one lint run."""
+    results: list[dict[str, Any]] = []
+    for diagnostic in result.diagnostics:
+        results.append(
+            {
+                "ruleId": diagnostic.code,
+                "level": "error",
+                "message": {"text": diagnostic.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": diagnostic.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": diagnostic.line,
+                                # SARIF columns are 1-based; diagnostics use
+                                # 0-based AST offsets.
+                                "startColumn": diagnostic.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_catalogue(),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: "LintResult") -> str:
+    """The ``--format sarif`` string form (stable key order)."""
+    return json.dumps(to_sarif(result), indent=2, sort_keys=True)

@@ -1,20 +1,25 @@
-"""Project-wide symbol table (the cross-module pass behind REP004/REP005).
+"""Project-wide symbol table (the cross-module pass behind the flow rules).
 
-A first pass over every analyzed file collects:
+Per-file extraction lives in :mod:`repro.lint.dataflow`: one
+:class:`~repro.lint.dataflow.FileFacts` record per source file, safe to
+cache because it depends only on that file's source.  This module merges
+those records into the tables the project-scoped rules query:
 
 * dataclass definitions (module, name, frozen-ness, fields, and the
   identifiers referenced by each field's annotation);
-* module-level tagged-union aliases (``FaultSpec = Union[A, B]`` or the
-  PEP-604 ``A | B`` form) whose members are plain names;
-* module-level dict-literal registries whose values are class names
-  (``_FAULT_KINDS = {"crash": CrashFault, ...}``);
-* serde functions — any function whose name ends with ``_to_dict`` /
-  ``_from_dict`` — with every identifier, attribute name, and string
-  literal its body references, plus whether it defers to the generic
-  dataclass machinery (``asdict`` / ``fields`` / ``__dataclass_fields__``).
+* module-level tagged-union aliases and dict-literal registries
+  (REP004's lock-step checks);
+* serde functions — ``*_to_dict`` / ``*_from_dict`` — with everything
+  their bodies reference;
+* a function table with call-site candidates, nondeterminism sources and
+  message-kind comparisons (REP010 / REP021 / REP030);
+* module-level string constants (``KIND_BLOCK = "block"``) so dispatch
+  comparisons against named constants resolve to their values;
+* attribute mutations and statement-level discarded calls, matched
+  against project types at check time (REP005 / REP021).
 
-Rules then answer questions like "is every member of this union
-registered?" and "does the designated serializer touch every field?"
+Rules answer questions like "is every member of this union registered?"
+and "does any consensus serializer transitively read the wall clock?"
 without importing any project code.
 """
 
@@ -26,10 +31,9 @@ from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.lint.config import LintConfig
     from repro.lint.context import FileContext
-
-_GENERIC_SERDE_NAMES = frozenset({"asdict", "astuple", "fields", "__dataclass_fields__"})
-_SERDE_SUFFIXES = ("_to_dict", "_from_dict")
+    from repro.lint.dataflow import FileFacts, FunctionFacts
 
 
 @dataclass
@@ -102,7 +106,7 @@ class SerdeFunction:
         )
 
 
-def _referenced_identifiers(node: ast.AST) -> tuple[set[str], set[str]]:
+def referenced_identifiers(node: ast.AST) -> tuple[set[str], set[str]]:
     """All Name ids / Attribute attrs, and all string literals, under ``node``."""
     names: set[str] = set()
     strings: set[str] = set()
@@ -116,66 +120,6 @@ def _referenced_identifiers(node: ast.AST) -> tuple[set[str], set[str]]:
     return names, strings
 
 
-def _annotation_names(node: ast.AST) -> frozenset[str]:
-    names, strings = _referenced_identifiers(node)
-    # Forward references ('FaultPlan') and stringified annotations count.
-    for text in strings:
-        for token in text.replace("[", " ").replace("]", " ").replace(",", " ").split():
-            cleaned = token.strip("'\"| ")
-            if cleaned.isidentifier():
-                names.add(cleaned)
-    return frozenset(names)
-
-
-def _is_dataclass_decorator(node: ast.expr) -> tuple[bool, bool]:
-    """(is_dataclass, frozen) for one decorator expression."""
-    target = node.func if isinstance(node, ast.Call) else node
-    dotted: str | None = None
-    if isinstance(target, ast.Name):
-        dotted = target.id
-    elif isinstance(target, ast.Attribute):
-        dotted = target.attr
-    if dotted != "dataclass":
-        return False, False
-    frozen = False
-    if isinstance(node, ast.Call):
-        for keyword in node.keywords:
-            if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
-                frozen = bool(keyword.value.value)
-    return True, frozen
-
-
-def _union_members(value: ast.expr) -> tuple[str, ...] | None:
-    """Member names of ``Union[A, B]`` / ``A | B`` when all are plain names."""
-    if isinstance(value, ast.Subscript):
-        target = value.value
-        base = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
-        if base != "Union":
-            return None
-        inner = value.slice
-        elements = list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
-        names = [e.id for e in elements if isinstance(e, ast.Name)]
-        return tuple(names) if len(names) == len(elements) and names else None
-    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr):
-        left = _union_members(value.left) or (
-            (value.left.id,) if isinstance(value.left, ast.Name) else None
-        )
-        right = _union_members(value.right) or (
-            (value.right.id,) if isinstance(value.right, ast.Name) else None
-        )
-        if left and right:
-            return left + right
-    return None
-
-
-def _registry_values(value: ast.expr) -> tuple[str, ...] | None:
-    """Class names used as dict-literal values, when every value is a name."""
-    if not isinstance(value, ast.Dict) or not value.values:
-        return None
-    names = [v.id for v in value.values if isinstance(v, ast.Name)]
-    return tuple(names) if len(names) == len(value.values) else None
-
-
 @dataclass
 class ProjectSymbols:
     """Cross-module facts extracted before any rule runs."""
@@ -186,110 +130,55 @@ class ProjectSymbols:
     registries: dict[str, RegistryDict] = field(default_factory=dict)
     serde_functions: dict[str, SerdeFunction] = field(default_factory=dict)
     modules: set[str] = field(default_factory=set)
+    #: Function qualname → behavioral facts (calls, sources, kind tests).
+    functions: dict[str, "FunctionFacts"] = field(default_factory=dict)
+    #: Module-level string constant qualname → (value, line).
+    str_constants: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: Module → its full fact record (mutations, discarded calls, ...).
+    files: dict[str, "FileFacts"] = field(default_factory=dict)
 
     # -- collection -------------------------------------------------------------
 
     @classmethod
-    def collect(cls, contexts: Iterable["FileContext"]) -> "ProjectSymbols":
+    def collect(
+        cls,
+        contexts: Iterable["FileContext"],
+        config: "LintConfig | None" = None,
+    ) -> "ProjectSymbols":
+        """Extract facts from parsed files and merge them.
+
+        Convenience path for tests and one-shot runs; the engine collects
+        :class:`FileFacts` itself (so they can be cached) and calls
+        :meth:`from_facts` directly.
+        """
+        from repro.lint.config import DEFAULT_CONFIG
+        from repro.lint.dataflow import FileFacts
+
+        cfg = config if config is not None else DEFAULT_CONFIG
+        return cls.from_facts(FileFacts.collect(ctx, cfg) for ctx in contexts)
+
+    @classmethod
+    def from_facts(cls, facts: Iterable["FileFacts"]) -> "ProjectSymbols":
         symbols = cls()
-        for ctx in contexts:
-            symbols._collect_file(ctx)
+        for record in facts:
+            symbols._merge(record)
         return symbols
 
-    def _collect_file(self, ctx: "FileContext") -> None:
-        self.modules.add(ctx.module)
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ClassDef):
-                self._collect_class(ctx, node)
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._collect_function(ctx, node)
-        for node in ctx.tree.body:
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target = node.targets[0]
-                if isinstance(target, ast.Name):
-                    self._collect_alias(ctx, target.id, node.value, node.lineno)
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                if isinstance(node.target, ast.Name):
-                    self._collect_alias(ctx, node.target.id, node.value, node.lineno)
-
-    def _collect_class(self, ctx: "FileContext", node: ast.ClassDef) -> None:
-        is_dataclass = False
-        frozen = False
-        decorator_line = node.lineno
-        for decorator in node.decorator_list:
-            found, frozen_flag = _is_dataclass_decorator(decorator)
-            if found:
-                is_dataclass = True
-                frozen = frozen or frozen_flag
-                decorator_line = decorator.lineno
-        if not is_dataclass:
-            return
-        bases = tuple(
-            base.id if isinstance(base, ast.Name) else base.attr
-            for base in node.bases
-            if isinstance(base, (ast.Name, ast.Attribute))
-        )
-        info = DataclassInfo(
-            module=ctx.module,
-            name=node.name,
-            line=node.lineno,
-            decorator_line=decorator_line,
-            display_path=ctx.display_path,
-            frozen=frozen,
-            bases=bases,
-        )
-        for statement in node.body:
-            if isinstance(statement, ast.AnnAssign) and isinstance(
-                statement.target, ast.Name
-            ):
-                info.fields.append(
-                    DataclassField(
-                        name=statement.target.id,
-                        line=statement.lineno,
-                        annotation_names=_annotation_names(statement.annotation),
-                    )
-                )
-        self.dataclasses[info.qualname] = info
-        self.dataclasses_by_name.setdefault(info.name, []).append(info)
-
-    def _collect_function(
-        self, ctx: "FileContext", node: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> None:
-        if not node.name.endswith(_SERDE_SUFFIXES):
-            return
-        names, strings = _referenced_identifiers(node)
-        self.serde_functions[f"{ctx.module}.{node.name}"] = SerdeFunction(
-            module=ctx.module,
-            name=node.name,
-            line=node.lineno,
-            display_path=ctx.display_path,
-            referenced_names=frozenset(names),
-            string_literals=frozenset(strings),
-            uses_generic=bool(names & _GENERIC_SERDE_NAMES),
-        )
-
-    def _collect_alias(
-        self, ctx: "FileContext", name: str, value: ast.expr, line: int
-    ) -> None:
-        members = _union_members(value)
-        if members is not None:
-            self.unions[f"{ctx.module}.{name}"] = UnionAlias(
-                module=ctx.module,
-                name=name,
-                line=line,
-                display_path=ctx.display_path,
-                members=members,
-            )
-            return
-        values = _registry_values(value)
-        if values is not None:
-            self.registries[f"{ctx.module}.{name}"] = RegistryDict(
-                module=ctx.module,
-                name=name,
-                line=line,
-                display_path=ctx.display_path,
-                value_names=values,
-            )
+    def _merge(self, record: "FileFacts") -> None:
+        self.modules.add(record.module)
+        self.files[record.module] = record
+        for info in record.dataclasses:
+            self.dataclasses[info.qualname] = info
+            self.dataclasses_by_name.setdefault(info.name, []).append(info)
+        for union in record.unions:
+            self.unions[f"{union.module}.{union.name}"] = union
+        for registry in record.registries:
+            self.registries[f"{registry.module}.{registry.name}"] = registry
+        for serde in record.serde_functions:
+            self.serde_functions[f"{serde.module}.{serde.name}"] = serde
+        for function in record.functions:
+            self.functions[function.qualname] = function
+        self.str_constants.update(record.str_constants)
 
     # -- queries ----------------------------------------------------------------
 
@@ -306,3 +195,8 @@ class ProjectSymbols:
         return [
             f for f in self.serde_functions.values() if f.name.endswith("_from_dict")
         ]
+
+    def resolve_constant(self, qualname: str) -> str | None:
+        """Value of a module-level string constant, if known."""
+        entry = self.str_constants.get(qualname)
+        return entry[0] if entry is not None else None

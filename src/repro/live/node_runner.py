@@ -169,6 +169,13 @@ async def run_node(
             write_status(path, node_status(node, clock.now, recovered_height))
             await asyncio.sleep(status_interval)
 
+    def abort_on_crash(task: asyncio.Task[None]) -> None:
+        # A crashed background task must stop the node loudly: a silently
+        # dead status writer looks exactly like a hung node to the driver,
+        # and a dead workload skews every TPS figure downstream.
+        if not task.cancelled() and task.exception() is not None:
+            stop_event.set()
+
     tasks: list[asyncio.Task[None]] = []
     if tx_rate > 0:
         tasks.append(loop.create_task(workload(), name=f"workload-{node_id}"))
@@ -176,7 +183,10 @@ async def run_node(
         tasks.append(
             loop.create_task(status_writer(status_path), name=f"status-{node_id}")
         )
+    for task in tasks:
+        task.add_done_callback(abort_on_crash)
 
+    crashed: list[tuple[str, BaseException]] = []
     try:
         if duration is not None:
             with contextlib.suppress(asyncio.TimeoutError):
@@ -187,8 +197,12 @@ async def run_node(
         for task in tasks:
             task.cancel()
         for task in tasks:
-            with contextlib.suppress(asyncio.CancelledError):
+            try:
                 await task
+            except asyncio.CancelledError:
+                pass
+            except Exception as exc:  # noqa: BLE001 — finish shutdown first
+                crashed.append((task.get_name(), exc))
         node.stop()
         await transport.stop()
         if storage is not None:
@@ -198,7 +212,21 @@ async def run_node(
             storage.commit(node.state.head_id, node.state.tree, force=True)
             storage.close()
         if status_path is not None:
-            write_status(status_path, node_status(node, clock.now, recovered_height))
+            try:
+                write_status(
+                    status_path, node_status(node, clock.now, recovered_height)
+                )
+            except OSError:
+                # An unwritable status path is very likely what killed the
+                # status writer in the first place; the crash report below
+                # carries that cause, so don't let this write mask it.
+                if not crashed:
+                    raise
+    if crashed:
+        # Re-raise after the clean shutdown so the failure is loud AND the
+        # database/status file still reflect a properly flushed node.
+        name, exc = crashed[0]
+        raise RuntimeError(f"background task {name!r} crashed") from exc
     return node
 
 

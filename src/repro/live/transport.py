@@ -115,21 +115,32 @@ class TcpGossipTransport:
         )
 
     async def stop(self) -> None:
-        """Close the server, writer tasks and all connections."""
+        """Close the server, writer tasks and all connections.
+
+        Safe against concurrent activity: ``_transmit`` stops creating
+        links once ``_running`` drops, and the cancellation loop below
+        repeats until a pass finds no tasks — reader tasks the server
+        accepted while we were awaiting earlier cancellations included.
+        """
         self._running = False
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        tasks = [link.task for link in self._links.values() if link.task is not None]
-        tasks.extend(self._reader_tasks)
-        for task in tasks:
-            task.cancel()
-        for task in tasks:
-            with contextlib.suppress(asyncio.CancelledError):
-                await task
-        self._links.clear()
-        self._reader_tasks.clear()
+        while True:
+            tasks = [
+                link.task for link in self._links.values() if link.task is not None
+            ]
+            tasks.extend(self._reader_tasks)
+            self._links.clear()
+            self._reader_tasks.clear()
+            if not tasks:
+                break
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
 
     async def wait_connected(self, min_peers: int, timeout: float) -> bool:
         """Wait until outbound links to ``min_peers`` neighbors are up.
@@ -223,6 +234,11 @@ class TcpGossipTransport:
     # -- send paths ------------------------------------------------------------------
 
     def _transmit(self, src: int, dst: int, message: Message) -> None:
+        if not self._running:
+            # A send racing stop() must not resurrect a writer task that
+            # the teardown loop would then have to chase.
+            self.stats.record_drop("stopped")
+            return
         if src in self._offline or dst in self._offline:
             self.stats.record_drop("offline")
             return

@@ -1,0 +1,434 @@
+"""Flow-level tests for the ``repro.lint`` suite.
+
+Where ``test_lint.py`` exercises each rule against minimal fixtures,
+this module tests the machinery the rules ride on: interprocedural
+taint traces, parse-error recovery mid-project, the committed-baseline
+lifecycle, the incremental cache (including its cross-module soundness
+contract), SARIF output, and the CLI exit-code contract across every
+format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, BaselineError, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.diagnostics import PARSE_ERROR, UNUSED_SUPPRESSION
+
+_TAINT_LEAF = """
+    import time
+
+    def host_seconds():
+        return time.time()
+"""
+
+_TAINT_MID = """
+    from repro.util.hostclock import host_seconds
+
+    def annotate(record):
+        record["at"] = host_seconds()
+        return record
+"""
+
+_TAINT_SINK = """
+    from repro.util.annotate import annotate
+
+    def result_to_dict(result):
+        return annotate({"height": result.height})
+"""
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+
+
+def run_lint(tmp_path: Path, files: dict[str, str], **kwargs):
+    write_tree(tmp_path, files)
+    return lint_paths([tmp_path], root=tmp_path, **kwargs)
+
+
+def codes(result) -> list[str]:
+    return [d.code for d in result.diagnostics]
+
+
+# -- REP010 taint traces -----------------------------------------------------------
+
+
+def test_taint_two_hop_leak_rep001_misses(tmp_path):
+    """The ISSUE's acceptance case: a transitive time.time() leak through
+    two utility modules that every per-file rule waves through."""
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/util/hostclock.py": _TAINT_LEAF,
+            "src/repro/util/annotate.py": _TAINT_MID,
+            "src/repro/sim/reporting.py": _TAINT_SINK,
+        },
+    )
+    assert codes(result) == ["REP010"]
+    message = result.diagnostics[0].message
+    # The full call chain is rendered, sink first.
+    assert "result_to_dict() -> annotate() -> host_seconds()" in message
+    # The diagnostic names the source and where it physically sits.
+    assert "wall-clock" in message
+    assert "hostclock.py" in message
+    # The finding anchors at the sink's call site, in the sink's file.
+    assert result.diagnostics[0].path.endswith("reporting.py")
+
+
+def test_taint_reports_shortest_path(tmp_path):
+    # Two routes to the source; the diagnostic takes the direct one.
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/util/hostclock.py": _TAINT_LEAF,
+            "src/repro/util/annotate.py": _TAINT_MID,
+            "src/repro/sim/reporting.py": """
+                from repro.util.annotate import annotate
+                from repro.util.hostclock import host_seconds
+
+                def result_to_dict(result):
+                    direct = host_seconds()
+                    return annotate({"height": result.height, "t": direct})
+            """,
+        },
+    )
+    assert codes(result) == ["REP010"]
+    assert (
+        "result_to_dict() -> host_seconds()" in result.diagnostics[0].message
+    )
+
+
+def test_taint_respects_max_depth(tmp_path):
+    files = {"src/repro/util/h0.py": _TAINT_LEAF.replace("host_seconds", "f0")}
+    for i in range(1, 4):
+        files[f"src/repro/util/h{i}.py"] = f"""
+            from repro.util.h{i - 1} import f{i - 1}
+
+            def f{i}():
+                return f{i - 1}()
+        """
+    files["src/repro/sim/reporting.py"] = """
+        from repro.util.h3 import f3
+
+        def result_to_dict(result):
+            return f3()
+    """
+    from dataclasses import replace
+
+    from repro.lint import DEFAULT_CONFIG
+
+    deep = run_lint(tmp_path / "deep", files)
+    assert codes(deep) == ["REP010"]
+    shallow = run_lint(
+        tmp_path / "shallow",
+        files,
+        config=replace(DEFAULT_CONFIG, taint_max_depth=2),
+    )
+    assert shallow.ok
+
+
+# -- REP900 recovery ---------------------------------------------------------------
+
+
+def test_parse_error_does_not_stop_project_rules(tmp_path):
+    """One unparseable file yields REP900; the rest of the project —
+    including cross-module conclusions — is still analyzed."""
+    result = run_lint(
+        tmp_path,
+        {
+            "src/repro/util/broken.py": "def f(:\n",
+            "src/repro/util/hostclock.py": _TAINT_LEAF,
+            "src/repro/util/annotate.py": _TAINT_MID,
+            "src/repro/sim/reporting.py": _TAINT_SINK,
+        },
+    )
+    assert sorted(codes(result)) == ["REP010", PARSE_ERROR]
+
+
+# -- baseline lifecycle ------------------------------------------------------------
+
+_BAD_SINK = {
+    "src/repro/util/hostclock.py": _TAINT_LEAF,
+    "src/repro/sim/reporting.py": """
+        from repro.util.hostclock import host_seconds
+
+        def result_to_dict(result):
+            return {"t": host_seconds()}
+    """,
+}
+
+
+def _justified(baseline: Baseline) -> Baseline:
+    from dataclasses import replace as dc_replace
+
+    return Baseline(
+        entries=[
+            dc_replace(e, justification="known leak, tracked in issue #1")
+            for e in baseline.entries
+        ]
+    )
+
+
+def test_baseline_filters_acknowledged_findings(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    assert codes(result) == ["REP010"]
+    baseline = _justified(Baseline.from_result(result))
+    applied = baseline.apply(result)
+    assert applied.ok
+    assert applied.baselined == 1
+
+
+def test_baseline_fingerprint_is_line_independent(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    baseline = _justified(Baseline.from_result(result))
+    # Shift every line in the sink file; the finding text is unchanged.
+    shifted = dict(_BAD_SINK)
+    shifted["src/repro/sim/reporting.py"] = "\n\n" + textwrap.dedent(
+        shifted["src/repro/sim/reporting.py"]
+    )
+    rerun = run_lint(tmp_path / "shifted", shifted)
+    assert codes(rerun) == ["REP010"]
+    assert baseline.apply(rerun).ok
+
+
+def test_baseline_stale_entry_reported_as_rep000(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    baseline = _justified(Baseline.from_result(result))
+    fixed = {
+        "src/repro/util/hostclock.py": """
+            def host_seconds():
+                return 0.0
+        """,
+        "src/repro/sim/reporting.py": _BAD_SINK["src/repro/sim/reporting.py"],
+    }
+    rerun = run_lint(tmp_path / "fixed", fixed)
+    assert rerun.ok
+    applied = baseline.apply(rerun)
+    assert codes(applied) == [UNUSED_SUPPRESSION]
+    assert "stale baseline entry" in applied.diagnostics[0].message
+
+
+def test_baseline_entry_outside_linted_paths_is_not_stale(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    baseline = _justified(Baseline.from_result(result))
+    other = run_lint(
+        tmp_path / "other", {"src/repro/net/fine.py": "def f(sim):\n    return sim.now\n"}
+    )
+    # The baselined file was not part of this run: no staleness claim.
+    assert baseline.apply(other).ok
+
+
+def test_baseline_load_rejects_missing_justification(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    Baseline.from_result(result).write(tmp_path / "baseline.json")
+    with pytest.raises(BaselineError, match="no written justification"):
+        Baseline.load(tmp_path / "baseline.json")
+    # Non-strict load (the --update-baseline path) still works.
+    loose = Baseline.load(tmp_path / "baseline.json", strict=False)
+    assert len(loose.entries) == 1
+
+
+def test_baseline_load_rejects_garbage(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        Baseline.load(target)
+    target.write_text('{"entries": 7}')
+    with pytest.raises(BaselineError, match="entries"):
+        Baseline.load(target)
+
+
+def test_update_baseline_preserves_justifications(tmp_path):
+    result = run_lint(tmp_path, _BAD_SINK)
+    previous = _justified(Baseline.from_result(result))
+    updated = Baseline.from_result(result, previous)
+    assert [e.justification for e in updated.entries] == [
+        "known leak, tracked in issue #1"
+    ]
+
+
+def test_cli_update_baseline_roundtrip(tmp_path, capsys, monkeypatch):
+    write_tree(tmp_path, _BAD_SINK)
+    monkeypatch.chdir(tmp_path)
+    baseline_path = "lint-baseline.json"
+    # Without --baseline, --update-baseline is a usage error.
+    assert lint_main(["src", "--update-baseline"]) == 2
+    capsys.readouterr()
+    # Write the baseline; placeholder justifications land on disk.
+    assert lint_main(["src", "--baseline", baseline_path, "--update-baseline"]) == 0
+    capsys.readouterr()
+    # Applying it before justifying is a usage error (exit 2).
+    assert lint_main(["src", "--baseline", baseline_path]) == 2
+    capsys.readouterr()
+    payload = json.loads(Path(baseline_path).read_text())
+    for entry in payload["entries"]:
+        entry["justification"] = "acknowledged wall-clock tag, issue #1"
+    Path(baseline_path).write_text(json.dumps(payload))
+    # A justified baseline makes the tree clean.
+    assert lint_main(["src", "--baseline", baseline_path, "--format", "json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["ok"] is True
+    assert out["baselined"] == 1
+
+
+# -- incremental cache -------------------------------------------------------------
+
+
+def test_cache_second_run_replays_everything(tmp_path):
+    files = dict(_BAD_SINK)
+    files["src/repro/net/fine.py"] = "def f(sim):\n    return sim.now\n"
+    cache = tmp_path / "cache.json"
+    first = run_lint(tmp_path, files, cache_path=cache)
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert first.files_skipped == 0
+    assert second.files_skipped == second.files_checked == first.files_checked
+    assert [d.text() for d in first.diagnostics] == [
+        d.text() for d in second.diagnostics
+    ]
+
+
+def test_cache_touch_hits_via_sha_fallback(tmp_path):
+    files = dict(_BAD_SINK)
+    cache = tmp_path / "cache.json"
+    run_lint(tmp_path, files, cache_path=cache)
+    target = tmp_path / "src" / "repro" / "sim" / "reporting.py"
+    os.utime(target, (1, 1))  # mtime changes, content does not
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert second.files_skipped == second.files_checked
+
+
+def test_cache_miss_on_content_change(tmp_path):
+    cache = tmp_path / "cache.json"
+    run_lint(
+        tmp_path,
+        {"src/repro/net/a.py": "def f(sim):\n    return sim.now\n"},
+        cache_path=cache,
+    )
+    (tmp_path / "src" / "repro" / "net" / "a.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n"
+    )
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert second.files_skipped == 0
+    assert codes(second) == ["REP001"]
+
+
+def test_cache_cross_module_rules_stay_fresh(tmp_path):
+    """The soundness contract: a cached (unchanged) helper file must still
+    contribute facts to project rules when its *callers* change."""
+    cache = tmp_path / "cache.json"
+    first = run_lint(tmp_path, _BAD_SINK, cache_path=cache)
+    assert codes(first) == ["REP010"]
+    # Fix the sink only; the tainted helper replays from the cache.
+    (tmp_path / "src" / "repro" / "sim" / "reporting.py").write_text(
+        "def result_to_dict(result):\n    return {'height': result.height}\n"
+    )
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert second.files_skipped == 1  # the helper
+    assert second.ok
+    # Re-introduce the call: the leak must come back, cache and all.
+    (tmp_path / "src" / "repro" / "sim" / "reporting.py").write_text(
+        "from repro.util.hostclock import host_seconds\n\n\n"
+        "def result_to_dict(result):\n    return {'t': host_seconds()}\n"
+    )
+    third = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert codes(third) == ["REP010"]
+
+
+def test_cache_invalidated_by_rule_selection(tmp_path):
+    cache = tmp_path / "cache.json"
+    run_lint(tmp_path, _BAD_SINK, cache_path=cache, select=["REP001"])
+    # Different file-rule set: the whole cache is discarded, not replayed.
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert second.files_skipped == 0
+    assert codes(second) == ["REP010"]
+
+
+def test_cache_corrupt_file_is_ignored(tmp_path):
+    cache = tmp_path / "cache.json"
+    cache.write_text("{definitely not json")
+    result = run_lint(tmp_path, _BAD_SINK, cache_path=cache)
+    assert codes(result) == ["REP010"]
+    # And the run repaired it for next time.
+    second = lint_paths([tmp_path], root=tmp_path, cache_path=cache)
+    assert second.files_skipped == second.files_checked
+
+
+# -- SARIF output ------------------------------------------------------------------
+
+
+def test_cli_sarif_shape(tmp_path, capsys, monkeypatch):
+    write_tree(
+        tmp_path,
+        {"src/repro/net/bad.py": "import time\n\n\ndef f():\n    return time.time()\n"},
+    )
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"REP001", "REP010", "REP030", "REP000", "REP900"} <= rule_ids
+    (finding,) = run["results"]
+    assert finding["ruleId"] == "REP001"
+    region = finding["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    uri = finding["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+    assert uri == "src/repro/net/bad.py"
+
+
+def test_cli_sarif_clean_tree_has_empty_results(tmp_path, capsys, monkeypatch):
+    write_tree(tmp_path, {"src/repro/net/fine.py": "def f(sim):\n    return sim.now\n"})
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+# -- exit-code contract ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", ["text", "json", "github", "sarif"])
+def test_exit_codes_agree_across_formats(tmp_path, capsys, monkeypatch, fmt):
+    write_tree(
+        tmp_path,
+        {
+            "bad/src/repro/net/bad.py": (
+                "import time\n\n\ndef f():\n    return time.time()\n"
+            ),
+            "clean/src/repro/net/fine.py": "def f(sim):\n    return sim.now\n",
+        },
+    )
+    monkeypatch.chdir(tmp_path / "bad")
+    assert lint_main(["src", "--format", fmt, "--statistics"]) == 1
+    capsys.readouterr()
+    monkeypatch.chdir(tmp_path / "clean")
+    assert lint_main(["src", "--format", fmt, "--statistics"]) == 0
+    capsys.readouterr()
+
+
+def test_exit_zero_when_fully_baselined(tmp_path, capsys, monkeypatch):
+    write_tree(tmp_path, _BAD_SINK)
+    monkeypatch.chdir(tmp_path)
+    result = lint_paths(["src"], root=tmp_path)
+    _justified(Baseline.from_result(result)).write("baseline.json")
+    assert lint_main(["src", "--baseline", "baseline.json"]) == 0
+    assert lint_main(["src"]) == 1
+    capsys.readouterr()
+
+
+def test_exit_two_on_unreadable_baseline(tmp_path, capsys, monkeypatch):
+    write_tree(tmp_path, {"src/repro/net/fine.py": "def f(sim):\n    return sim.now\n"})
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src", "--baseline", "missing.json"]) == 2
+    capsys.readouterr()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
 
 from repro.errors import NetworkError
@@ -17,6 +19,7 @@ from repro.live.manifest import (
     PeerSpec,
     localhost_manifest,
 )
+from repro.live.node_runner import run_node
 from repro.sim.fleet import build_mining_fleet
 
 
@@ -85,6 +88,28 @@ class TestDriverPieces:
         assert common_prefix_height([a]) == 3
         assert common_prefix_height([]) == 0
         assert common_prefix_height([[["g", 0]], a]) == 0
+
+
+class TestBackgroundTaskCrash:
+    def test_status_writer_crash_stops_node_loudly(self, tmp_path):
+        # An unwritable status path kills the status-writer task on its
+        # first write.  The node must abort promptly (not sit out the full
+        # duration looking hung) and re-raise with the task name and the
+        # original cause chained, after a clean shutdown.
+        # Two-peer manifest but only node 0 runs: the short connect_timeout
+        # lets it start alone, so the test needs no second process.
+        manifest = localhost_manifest(ports=free_ports(2))
+        with pytest.raises(RuntimeError, match="'status-0' crashed") as excinfo:
+            asyncio.run(
+                run_node(
+                    manifest=manifest,
+                    node_id=0,
+                    status_path=tmp_path / "missing-dir" / "status.json",
+                    connect_timeout=0.2,
+                    duration=10.0,
+                )
+            )
+        assert isinstance(excinfo.value.__cause__, FileNotFoundError)
 
 
 class TestEndToEnd:
